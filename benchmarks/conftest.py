@@ -1,0 +1,28 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark prints the rows/series of its paper figure to stdout (run
+pytest with ``-s`` to see them inline; a captured copy is also appended to
+``benchmarks/results.txt``) and times one representative end-to-end run via
+pytest-benchmark's pedantic mode so the harness reports wall-clock cost
+without re-running multi-minute experiments dozens of times.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure's reproduction and append it to the results file."""
+    block = "\n=== %s ===\n%s\n" % (title, body)
+    print(block)
+    with open(RESULTS_PATH, "a") as fh:
+        fh.write(block)
+
+
+def run_once(benchmark, func: Callable):
+    """Time ``func`` exactly once through pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,172 @@
+"""Ablations of the co-design's individual mechanisms.
+
+These are not paper figures; they isolate the design choices DESIGN.md
+calls out:
+
+* **lockstep injection** (§IV-A): without the NOP/down-counter mechanism
+  the contention-free schedule drifts and messages queue;
+* **hardware vs software scheduling** (§VII-B): per-dependency software
+  latency erases MULTITREE's small-message advantage;
+* **message-based flow control** (§IV-B): bandwidth and router-energy
+  savings over packet switching;
+* **DBTree pipeline depth**: block-count sensitivity;
+* **tree turn priority** (§III-C1): root-id vs most-remaining on the
+  asymmetric mesh.
+"""
+
+from conftest import emit, run_once
+
+from repro.collectives import build_schedule, dbtree_allreduce, multitree_allreduce
+from repro.network import EnergyModel, MessageBased, PacketBased, energy_saving_fraction
+from repro.ni import simulate_allreduce
+from repro.topology import Mesh2D, Torus2D
+
+KiB = 1024
+MiB = 1 << 20
+
+
+def test_ablation_lockstep(benchmark):
+    def measure():
+        rows = []
+        for topo in (Torus2D(8, 8), Mesh2D(8, 8)):
+            schedule = build_schedule("multitree", topo)
+            on = simulate_allreduce(schedule, 16 * MiB, lockstep=True)
+            off = simulate_allreduce(schedule, 16 * MiB, lockstep=False)
+            rows.append((topo.name, on, off))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    lines = []
+    for name, on, off in rows:
+        lines.append(
+            "%-10s lockstep ON: %7.0f us (max queue %6.1f us) | OFF: %7.0f us (max queue %6.1f us)"
+            % (name, on.time * 1e6, on.max_queue_delay() * 1e6,
+               off.time * 1e6, off.max_queue_delay() * 1e6)
+        )
+    emit("Ablation — lockstep injection (§IV-A)", "\n".join(lines))
+
+    for _name, on, off in rows:
+        assert on.time <= off.time
+        assert off.max_queue_delay() > 10 * max(on.max_queue_delay(), 1e-9)
+
+
+def test_ablation_software_scheduling(benchmark):
+    def measure():
+        schedule = build_schedule("multitree", Torus2D(8, 8))
+        rows = []
+        for size in (32 * KiB, 1 * MiB, 16 * MiB):
+            hw = simulate_allreduce(schedule, size).time
+            sw = simulate_allreduce(schedule, size, scheduling_overhead=5e-6).time
+            rows.append((size, hw, sw))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    lines = [
+        "size %8d B: hardware NI %8.1f us | software (+5us/dep) %8.1f us  -> %5.2fx slower"
+        % (size, hw * 1e6, sw * 1e6, sw / hw)
+        for size, hw, sw in rows
+    ]
+    emit("Ablation — hardware vs software schedule management (§VII-B)", "\n".join(lines))
+
+    ratios = [sw / hw for _s, hw, sw in rows]
+    assert ratios[0] > 5.0        # small messages devastated
+    assert ratios[-1] < 1.2       # large messages barely affected
+    assert ratios == sorted(ratios, reverse=True)
+
+
+def test_ablation_flow_control_energy(benchmark):
+    def measure():
+        schedule = build_schedule("multitree", Torus2D(8, 8))
+        model = EnergyModel()
+        pkt_e = model.schedule_energy_pj(schedule, 64 * MiB, PacketBased())
+        msg_e = model.schedule_energy_pj(schedule, 64 * MiB, MessageBased())
+        pkt_t = simulate_allreduce(schedule, 64 * MiB, PacketBased()).time
+        msg_t = simulate_allreduce(schedule, 64 * MiB, MessageBased()).time
+        return pkt_e, msg_e, pkt_t, msg_t, energy_saving_fraction(schedule, 64 * MiB)
+
+    pkt_e, msg_e, pkt_t, msg_t, saving = run_once(benchmark, measure)
+    emit(
+        "Ablation — message-based flow control (§IV-B)",
+        "energy: packet %.1f uJ -> message %.1f uJ (%.1f%% saved)\n"
+        "time:   packet %.0f us -> message %.0f us (%.1f%% faster)"
+        % (pkt_e / 1e6, msg_e / 1e6, 100 * saving,
+           pkt_t * 1e6, msg_t * 1e6, 100 * (1 - msg_t / pkt_t)),
+    )
+    assert 0.02 < saving < 0.3
+    assert 0.04 < 1 - msg_t / pkt_t < 0.09   # the ~6% bandwidth effect
+
+
+def test_ablation_dbtree_pipeline_depth(benchmark):
+    def measure():
+        topo = Torus2D(4, 4)
+        rows = []
+        for blocks in (1, 2, 4, 8, 16, 32):
+            schedule = dbtree_allreduce(topo, num_blocks=blocks)
+            t = simulate_allreduce(schedule, 16 * MiB).time
+            rows.append((blocks, t))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    lines = ["blocks %3d: %8.0f us" % (b, t * 1e6) for b, t in rows]
+    emit("Ablation — DBTree pipeline block count", "\n".join(lines))
+    # Pipelining helps up to a point: 8 blocks beats 1 block.
+    times = dict(rows)
+    assert times[8] < times[1]
+
+
+def test_ablation_extra_baselines(benchmark):
+    """§VII-A/§VIII discussion baselines: butterfly and hierarchical rings
+    against ring and MultiTree across the latency/bandwidth regimes."""
+
+    def measure():
+        from repro.topology import FatTree
+
+        topo = FatTree(4, 4)
+        rows = []
+        for size in (2 * KiB, 256 * KiB, 64 * MiB):
+            row = {"size": size}
+            for alg in ("ring", "butterfly", "hierarchical", "multitree"):
+                schedule = build_schedule(alg, topo)
+                row[alg] = simulate_allreduce(schedule, size).time
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, measure)
+    lines = ["%10s %12s %12s %12s %12s (us)"
+             % ("size", "ring", "butterfly", "hierarchical", "multitree")]
+    for row in rows:
+        lines.append(
+            "%10d %12.1f %12.1f %12.1f %12.1f"
+            % (row["size"], row["ring"] * 1e6, row["butterfly"] * 1e6,
+               row["hierarchical"] * 1e6, row["multitree"] * 1e6)
+        )
+    emit("Ablation — §VII-A/§VIII discussion baselines (16-node Fat-Tree)",
+         "\n".join(lines))
+
+    tiny, mid, large = rows
+    # Butterfly's log-n steps win at tiny sizes vs ring, lose at large.
+    assert tiny["butterfly"] < tiny["ring"]
+    assert large["butterfly"] > large["ring"]
+    # Hierarchical beats flat ring for small data (local-first steps).
+    assert tiny["hierarchical"] < tiny["ring"]
+    # MultiTree is never beaten by either extra baseline.
+    for row in rows:
+        assert row["multitree"] <= min(row["butterfly"], row["hierarchical"]) * 1.02
+
+
+def test_ablation_tree_priority(benchmark):
+    def measure():
+        rows = []
+        for topo in (Mesh2D(8, 8), Torus2D(8, 8)):
+            base = multitree_allreduce(topo, priority="root-id")
+            prio = multitree_allreduce(topo, priority="most-remaining")
+            rows.append((topo.name, base.metadata["tot_t"], prio.metadata["tot_t"]))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    lines = [
+        "%-10s root-id: %3d steps | most-remaining: %3d steps" % row for row in rows
+    ]
+    emit("Ablation — tree turn priority (§III-C1)", "\n".join(lines))
+    for _name, base, prio in rows:
+        assert prio <= base + 2

@@ -1,0 +1,99 @@
+"""Fig. 11a: non-overlapped DNN training time breakdown on an 8x8 Torus.
+
+For each of the seven DNNs: forward+backward compute plus one full-gradient
+all-reduce (mini-batch 16 per accelerator).  Reports per-algorithm training
+time normalized to RING, the communication share under RING, and the
+all-reduce speedups whose paper values are 2.2x (MULTITREE) / 2.3x
+(MULTITREEMSG) over RING and 1.51x / 1.56x over 2D-RING.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.analysis import geomean, reduction_percent
+from repro.collectives import build_schedule
+from repro.compute import MODEL_BUILDERS, all_models
+from repro.network import MessageBased, PacketBased
+from repro.topology import Torus2D
+from repro.training import nonoverlapped_iteration
+
+ALGORITHMS = ["ring", "dbtree", "2d-ring", "multitree"]
+
+
+def _measure():
+    topo = Torus2D(8, 8)
+    schedules = {alg: build_schedule(alg, topo) for alg in ALGORITHMS}
+    results = {}
+    for name, model in all_models().items():
+        per_alg = {}
+        for alg, schedule in schedules.items():
+            per_alg[alg] = nonoverlapped_iteration(model, schedule, flow_control=PacketBased())
+        per_alg["multitree-msg"] = nonoverlapped_iteration(
+            model, schedules["multitree"], flow_control=MessageBased()
+        )
+        results[name] = per_alg
+    return results
+
+
+def test_fig11a_nonoverlapped_training(benchmark):
+    results = run_once(benchmark, _measure)
+    algs = ALGORITHMS + ["multitree-msg"]
+
+    lines = ["%-12s %8s |" % ("model", "comm%") + "".join("%15s" % a for a in algs)
+             + "   (total time normalized to RING)"]
+    for name, per_alg in results.items():
+        ring_total = per_alg["ring"].total_time
+        row = "%-12s %7.0f%% |" % (name, 100 * per_alg["ring"].comm_fraction)
+        for alg in algs:
+            row += "%15.3f" % (per_alg[alg].total_time / ring_total)
+        lines.append(row)
+
+    mt_speedups = [
+        per["ring"].allreduce_time / per["multitree"].allreduce_time
+        for per in results.values()
+    ]
+    mtm_speedups = [
+        per["ring"].allreduce_time / per["multitree-msg"].allreduce_time
+        for per in results.values()
+    ]
+    mt_vs_2d = [
+        per["2d-ring"].allreduce_time / per["multitree"].allreduce_time
+        for per in results.values()
+    ]
+    mtm_vs_2d = [
+        per["2d-ring"].allreduce_time / per["multitree-msg"].allreduce_time
+        for per in results.values()
+    ]
+    best_reduction_ring = max(
+        reduction_percent(per["ring"].total_time, per["multitree"].total_time)
+        for per in results.values()
+    )
+    best_reduction_2d = max(
+        reduction_percent(per["2d-ring"].total_time, per["multitree"].total_time)
+        for per in results.values()
+    )
+    lines += [
+        "",
+        "all-reduce speedup (geomean over DNNs):",
+        "  multitree     vs ring: %.2fx   vs 2d-ring: %.2fx (paper: 2.2x / 1.51x)"
+        % (geomean(mt_speedups), geomean(mt_vs_2d)),
+        "  multitree-msg vs ring: %.2fx   vs 2d-ring: %.2fx (paper: 2.3x / 1.56x)"
+        % (geomean(mtm_speedups), geomean(mtm_vs_2d)),
+        "max training-time reduction: vs ring %.0f%% (paper: up to 81%%), "
+        "vs 2d-ring %.0f%% (paper: up to 30%%)"
+        % (best_reduction_ring, best_reduction_2d),
+    ]
+    emit("Fig. 11a — Non-overlapped training breakdown, 8x8 Torus", "\n".join(lines))
+
+    # Shape assertions.
+    for name, per_alg in results.items():
+        totals = {alg: per_alg[alg].total_time for alg in algs}
+        assert min(totals, key=totals.get) in ("multitree", "multitree-msg")
+        assert totals["dbtree"] == max(totals.values())  # worst on torus
+    assert geomean(mt_speedups) > 2.0
+    assert geomean(mtm_speedups) > geomean(mt_speedups)
+    assert geomean(mt_vs_2d) > 1.2
+    assert best_reduction_ring > 60.0
+    # Communication share spans compute-bound CNNs to comm-bound NCF.
+    fractions = [per["ring"].comm_fraction for per in results.values()]
+    assert min(fractions) < 0.45 and max(fractions) > 0.85

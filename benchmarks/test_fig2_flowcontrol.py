@@ -1,0 +1,25 @@
+"""Fig. 2: packet head-flit bandwidth overhead vs payload size."""
+
+from conftest import emit, run_once
+
+from repro.network import PacketBased
+
+
+def _measure():
+    payloads = [64, 96, 128, 160, 192, 224, 256]
+    return [(p, PacketBased(payload_bytes=p).head_flit_overhead()) for p in payloads]
+
+
+def test_fig2_head_flit_overhead(benchmark):
+    rows = run_once(benchmark, _measure)
+    body = "\n".join(
+        "payload %3d B : head-flit overhead %5.2f%%" % (p, 100 * o) for p, o in rows
+    )
+    emit("Fig. 2 — Packet head flit bandwidth overhead", body)
+
+    overheads = dict(rows)
+    # Paper: overhead spans 6%-25% for 64-256 B payloads with 16 B flits.
+    assert overheads[64] == 0.25
+    assert overheads[256] == 0.0625
+    values = [o for _, o in rows]
+    assert values == sorted(values, reverse=True)

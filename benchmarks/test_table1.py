@@ -1,0 +1,19 @@
+"""Table I: measured qualitative comparison of the all-reduce algorithms."""
+
+from conftest import emit, run_once
+
+from repro.analysis import format_table1, measure_table1
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, measure_table1)
+    emit("Table I — All-Reduce Algorithm Comparison (measured)", format_table1(rows))
+
+    by_name = {r.algorithm: r for r in rows}
+    assert by_name["multitree"].latency == "low"
+    assert by_name["multitree"].bandwidth == "optimal"
+    assert by_name["multitree"].contention == "none"
+    assert by_name["multitree"].general
+    assert by_name["dbtree"].contention == "high"
+    assert not by_name["2d-ring"].general
+    assert not by_name["hdrm"].general

@@ -1,0 +1,66 @@
+"""All-to-all for DLRM-style embedding exchange over MultiTree trees.
+
+§VII-B notes that "the all-gather trees can also easily support all-to-all
+collective in recent DNN workloads such as DLRM": in model-parallel
+embedding sharding, every device holds a slice of the embedding tables and
+must exchange personalized pooled embeddings with every other device before
+the top MLP (and the transpose during backward).
+
+This example builds the MultiTree personalized all-to-all, verifies it
+delivers every (source, destination) slice, and compares its simulated
+latency against a naive direct-exchange schedule where every pair sends
+point to point simultaneously.
+
+Run:  python examples/dlrm_alltoall.py
+"""
+
+from repro.collectives import alltoall_schedule, verify_alltoall
+from repro.collectives.schedule import ChunkRange, CommOp, OpKind, Schedule
+from repro.ni import simulate_allreduce
+from repro.topology import Torus2D
+
+MiB = 1 << 20
+
+
+def naive_alltoall(topology) -> Schedule:
+    """Every pair exchanges directly in one step (routing left to the NoC)."""
+    n = topology.num_nodes
+    ops = [
+        CommOp(
+            kind=OpKind.GATHER,
+            src=src,
+            dst=dst,
+            chunk=ChunkRange.nth_of(dst, n),
+            step=1,
+            flow=src,
+        )
+        for src in range(n)
+        for dst in range(n)
+        if src != dst
+    ]
+    return Schedule(topology, ops, "naive-alltoall")
+
+
+def main() -> None:
+    topology = Torus2D(4, 4)
+    # DLRM-ish scale: 64 sparse features x 128-dim pooled embeddings x
+    # 1024 local batch x 4 B  ->  ~32 MiB exchanged per device.
+    exchange_bytes = 32 * MiB
+    print("topology: %s, all-to-all payload %.0f MiB per device"
+          % (topology.name, exchange_bytes / MiB))
+
+    tree_schedule = alltoall_schedule(topology)
+    verify_alltoall(tree_schedule)
+    print("multitree all-to-all verified: every (src, dst) slice delivered")
+
+    tree = simulate_allreduce(tree_schedule, exchange_bytes)
+    naive = simulate_allreduce(naive_alltoall(topology), exchange_bytes, lockstep=False)
+    print("multitree trees : %8.0f us  (max queue %6.1f us)"
+          % (tree.time * 1e6, tree.max_queue_delay() * 1e6))
+    print("naive pairwise  : %8.0f us  (max queue %6.1f us)"
+          % (naive.time * 1e6, naive.max_queue_delay() * 1e6))
+    print("speedup: %.2fx" % (naive.time / tree.time))
+
+
+if __name__ == "__main__":
+    main()

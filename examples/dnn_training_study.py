@@ -1,0 +1,77 @@
+"""Distributed DNN training study on an 8x8 Torus (Fig. 11 style).
+
+For each of the paper's seven DNN workloads, compare one training
+iteration (mini-batch 16 per accelerator) under every all-reduce algorithm,
+with and without layer-wise computation-communication overlap.
+
+Run:  python examples/dnn_training_study.py [model ...]
+"""
+
+import sys
+
+from repro.collectives import build_schedule
+from repro.compute import MODEL_BUILDERS, get_model
+from repro.network import MessageBased, PacketBased
+from repro.topology import Torus2D
+from repro.training import (
+    CalibratedAllReduce,
+    nonoverlapped_iteration,
+    overlapped_iteration,
+)
+
+ALGORITHMS = ["ring", "dbtree", "2d-ring", "multitree"]
+
+
+def main() -> None:
+    names = sys.argv[1:] or sorted(MODEL_BUILDERS)
+    topology = Torus2D(8, 8)
+    print("topology: %s, %d accelerators, mini-batch %d"
+          % (topology.name, topology.num_nodes, 16 * topology.num_nodes))
+
+    schedules = {alg: build_schedule(alg, topology) for alg in ALGORITHMS}
+    calibrations = {
+        alg: CalibratedAllReduce(schedule, PacketBased())
+        for alg, schedule in schedules.items()
+    }
+
+    for name in names:
+        model = get_model(name)
+        print(
+            "\n%s — %.1fM parameters, %.1f MB gradients"
+            % (model.name, model.total_params / 1e6, model.gradient_bytes / 1e6)
+        )
+        print(
+            "  %-10s %14s %12s | %14s %12s"
+            % ("algorithm", "non-overlap", "comm share", "overlapped", "exposed comm")
+        )
+        for alg in ALGORITHMS:
+            non = nonoverlapped_iteration(model, schedules[alg])
+            over = overlapped_iteration(
+                model, schedules[alg], allreduce_model=calibrations[alg]
+            )
+            print(
+                "  %-10s %11.2f ms %11.0f%% | %11.2f ms %11.0f%%"
+                % (
+                    alg,
+                    non.total_time * 1e3,
+                    100 * non.comm_fraction,
+                    over.total_time * 1e3,
+                    100 * over.exposed_comm_time / over.total_time,
+                )
+            )
+        mtm = nonoverlapped_iteration(
+            model, schedules["multitree"], flow_control=MessageBased()
+        )
+        ring = nonoverlapped_iteration(model, schedules["ring"])
+        print(
+            "  multitree-msg: %.2f ms  (%.0f%% faster than ring, %.2fx all-reduce speedup)"
+            % (
+                mtm.total_time * 1e3,
+                100 * (1 - mtm.total_time / ring.total_time),
+                ring.allreduce_time / mtm.allreduce_time,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""All-reduce bandwidth across topology families (Fig. 9 style).
+
+Sweeps the all-reduce data size on a Torus, Mesh, Fat-Tree and BiGraph and
+prints one Fig. 9 panel per network, showing where each algorithm wins.
+
+Run:  python examples/topology_sweep.py [--large]
+      --large uses the 64-node instances (slower).
+"""
+
+import sys
+
+from repro.analysis import format_bandwidth_table, sweep_bandwidth
+from repro.collectives import ALGORITHMS, build_schedule
+from repro.network import MessageBased
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+
+KiB, MiB = 1024, 1 << 20
+SIZES = [32 * KiB, 256 * KiB, 2 * MiB, 16 * MiB, 64 * MiB]
+
+
+def panel(topology, algorithms) -> None:
+    sweeps = []
+    for algorithm in algorithms:
+        schedule = build_schedule(algorithm, topology)
+        sweeps.append(sweep_bandwidth(schedule, SIZES))
+    mt = build_schedule("multitree", topology)
+    sweeps.append(sweep_bandwidth(mt, SIZES, MessageBased(), label="multitree-msg"))
+    print("\n== %s ==" % topology.name)
+    print(format_bandwidth_table(sweeps))
+
+
+def main() -> None:
+    large = "--large" in sys.argv
+    if large:
+        networks = [
+            (Torus2D(8, 8), ["ring", "dbtree", "2d-ring", "multitree"]),
+            (Mesh2D(8, 8), ["ring", "dbtree", "2d-ring", "multitree"]),
+            (FatTree(8, 8), ["ring", "dbtree", "multitree"]),
+            (BiGraph(2, 16), ["ring", "dbtree", "hdrm", "multitree"]),
+        ]
+    else:
+        networks = [
+            (Torus2D(4, 4), ["ring", "dbtree", "2d-ring", "multitree"]),
+            (Mesh2D(4, 4), ["ring", "dbtree", "2d-ring", "multitree"]),
+            (FatTree(4, 4), ["ring", "dbtree", "multitree"]),
+            (BiGraph(2, 8), ["ring", "dbtree", "hdrm", "multitree"]),
+        ]
+    for topology, algorithms in networks:
+        panel(topology, algorithms)
+
+
+if __name__ == "__main__":
+    main()

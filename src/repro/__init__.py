@@ -1,0 +1,21 @@
+"""repro — reproduction of "Communication Algorithm-Architecture Co-Design
+for Distributed Deep Learning" (MULTITREE, ISCA 2021).
+
+The package layers, bottom up:
+
+* :mod:`repro.topology` — Torus/Mesh/Fat-Tree/BiGraph interconnects,
+* :mod:`repro.collectives` — ring, double binary tree, 2D-ring,
+  halving-doubling/HDRM, and MULTITREE all-reduce schedule builders, plus a
+  data-level correctness executor,
+* :mod:`repro.network` — discrete-event link-level network simulator with
+  packet- and message-based flow control,
+* :mod:`repro.ni` — the co-designed network interface (schedule tables,
+  lockstep injection),
+* :mod:`repro.compute` — SCALE-Sim-style systolic accelerator timing and the
+  seven DNN workloads,
+* :mod:`repro.training` — non-overlapped and layer-wise-overlapped training
+  iteration models,
+* :mod:`repro.analysis` — bandwidth/speedup metrics and Table I.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,57 @@
+"""Metrics, data-volume accounting, and Table I measurement."""
+
+from .metrics import (
+    DEFAULT_SIZES,
+    BandwidthSweep,
+    KiB,
+    MiB,
+    SweepPoint,
+    format_bandwidth_table,
+    geomean,
+    reduction_percent,
+    speedup,
+    sweep_bandwidth,
+)
+from .report import (
+    format_step_utilization,
+    render_gantt,
+    step_utilization,
+    utilization_summary,
+)
+from .tables import Table1Row, format_table1, measure_table1
+from .trees import render_forest, render_tree, tree_statistics
+from .volume import (
+    is_bandwidth_optimal,
+    links_used_fraction,
+    max_node_volume_fraction,
+    optimal_volume_fraction,
+    volume_ratio_to_optimal,
+)
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "BandwidthSweep",
+    "KiB",
+    "MiB",
+    "SweepPoint",
+    "Table1Row",
+    "format_bandwidth_table",
+    "format_step_utilization",
+    "format_table1",
+    "geomean",
+    "render_forest",
+    "render_gantt",
+    "render_tree",
+    "step_utilization",
+    "tree_statistics",
+    "utilization_summary",
+    "is_bandwidth_optimal",
+    "links_used_fraction",
+    "max_node_volume_fraction",
+    "measure_table1",
+    "optimal_volume_fraction",
+    "reduction_percent",
+    "speedup",
+    "sweep_bandwidth",
+    "volume_ratio_to_optimal",
+]

@@ -1,0 +1,115 @@
+"""Evaluation metrics shared by the benchmark harnesses (§VI).
+
+The paper's primary metric is *all-reduce bandwidth*: data size divided by
+completion time (§VI-A).  This module adds sweep helpers, speedup
+computation, and geometric means for the summary numbers (2.3x / 1.56x).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..collectives import build_schedule
+from ..collectives.schedule import Schedule
+from ..network.flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
+from ..ni.injector import AllReduceResult, simulate_allreduce
+from ..topology.base import Topology
+
+KiB = 1024
+MiB = 1024 * 1024
+
+#: Fig. 9 sweep: 32 KiB .. 64 MiB.
+DEFAULT_SIZES = [32 * KiB << (2 * i) for i in range(6)]  # 32K,128K,...,32M
+DEFAULT_SIZES.append(64 * MiB)
+
+
+@dataclass
+class SweepPoint:
+    algorithm: str
+    data_bytes: int
+    time: float
+    bandwidth: float
+    max_queue_delay: float
+
+
+@dataclass
+class BandwidthSweep:
+    """All-reduce bandwidth across data sizes for one (topology, algorithm)."""
+
+    topology: str
+    algorithm: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def bandwidth_at(self, data_bytes: int) -> float:
+        for point in self.points:
+            if point.data_bytes == data_bytes:
+                return point.bandwidth
+        raise KeyError(data_bytes)
+
+
+def sweep_bandwidth(
+    schedule: Schedule,
+    sizes: Sequence[int] = tuple(DEFAULT_SIZES),
+    flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
+    lockstep: bool = True,
+    label: Optional[str] = None,
+) -> BandwidthSweep:
+    """Simulate the schedule at each size and record bandwidths."""
+    sweep = BandwidthSweep(
+        topology=schedule.topology.name,
+        algorithm=label or schedule.algorithm,
+    )
+    for size in sizes:
+        result = simulate_allreduce(schedule, size, flow_control, lockstep)
+        sweep.points.append(
+            SweepPoint(
+                algorithm=sweep.algorithm,
+                data_bytes=size,
+                time=result.time,
+                bandwidth=result.bandwidth,
+                max_queue_delay=result.max_queue_delay(),
+            )
+        )
+    return sweep
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved_time <= 0:
+        return float("inf")
+    return baseline_time / improved_time
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def reduction_percent(baseline_time: float, improved_time: float) -> float:
+    """Training-time reduction, the paper's "up to 81%/30%" metric."""
+    if baseline_time <= 0:
+        return 0.0
+    return 100.0 * (baseline_time - improved_time) / baseline_time
+
+
+def format_bandwidth_table(sweeps: Sequence[BandwidthSweep]) -> str:
+    """ASCII rendering of a Fig. 9 panel (rows = sizes, cols = algorithms)."""
+    if not sweeps:
+        return "(empty)"
+    sizes = [p.data_bytes for p in sweeps[0].points]
+    header = "%-10s" % "size" + "".join("%14s" % s.algorithm for s in sweeps)
+    lines = [header]
+    for i, size in enumerate(sizes):
+        if size >= MiB:
+            size_label = "%d MiB" % (size // MiB)
+        else:
+            size_label = "%d KiB" % (size // KiB)
+        row = "%-10s" % size_label
+        for sweep in sweeps:
+            row += "%11.2f GB" % (sweep.points[i].bandwidth / 1e9)
+        lines.append(row)
+    return "\n".join(lines)

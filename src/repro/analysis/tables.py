@@ -1,0 +1,126 @@
+"""Table I reproduction: measured qualitative comparison of the algorithms.
+
+Rather than hard-coding the paper's table, each property is *measured*:
+
+* **latency** class from simulated small-message (32 KiB) completion time
+  relative to flat ring — pipelined algorithms have many tiny steps, so raw
+  step count would misclassify them;
+* **bandwidth** optimality from per-node transmitted volume against the
+  ``2(n-1)/n`` lower bound, with an O(1/n) allowance (double binary tree
+  sends exactly ``2D``, optimal in the large-n limit);
+* **contention** from the worst queueing delay in a large-message
+  discrete-event simulation;
+* **topology generality** from which topology families the algorithm can
+  be constructed on at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..collectives import build_schedule
+from ..ni.injector import simulate_allreduce
+from ..topology import BiGraph, FatTree, Mesh2D, Torus2D
+from ..topology.base import Topology
+from .metrics import KiB, MiB
+from .volume import volume_ratio_to_optimal
+
+#: Queue delay above this fraction of total time counts as contention.
+CONTENTION_THRESHOLD = 0.05
+
+#: Per-node volume within this factor of ``2(n-1)/n`` counts as optimal
+#: (allows the O(1/n) slack of exactly-2D algorithms like DBTree).
+BANDWIDTH_OPTIMAL_RATIO = 1.25
+
+#: Small-message time under this fraction of ring's counts as low latency.
+LOW_LATENCY_RATIO = 0.8
+
+
+@dataclass
+class Table1Row:
+    algorithm: str
+    latency: str          # "low" / "high" (small-data step count)
+    bandwidth: str        # "optimal" / "sub-optimal"
+    contention: str       # "none" / "high" (large-data queueing)
+    topologies: List[str]  # families the algorithm runs on
+
+    @property
+    def general(self) -> bool:
+        return len(self.topologies) >= 4
+
+    def format_row(self) -> str:
+        generality = "yes" if self.general else "limited(%s)" % ",".join(self.topologies)
+        return "%-18s %-6s %-12s %-6s %s" % (
+            self.algorithm, self.latency, self.bandwidth, self.contention, generality,
+        )
+
+
+def _reference_topologies() -> Dict[str, Topology]:
+    return {
+        "torus": Torus2D(4, 4),
+        "mesh": Mesh2D(4, 4),
+        "fat-tree": FatTree(4, 4),
+        "bigraph": BiGraph(2, 4),
+    }
+
+
+def measure_table1(
+    algorithms: Optional[List[str]] = None,
+    contention_bytes: int = 16 * MiB,
+) -> List[Table1Row]:
+    """Measure every Table I property for each algorithm."""
+    algorithms = algorithms or ["ring", "dbtree", "2d-ring", "hdrm", "multitree"]
+    topologies = _reference_topologies()
+    rows = []
+    for algorithm in algorithms:
+        supported: Dict[str, object] = {}
+        for family, topo in topologies.items():
+            try:
+                supported[family] = build_schedule(algorithm, topo)
+            except (TypeError, ValueError):
+                continue
+        if not supported:
+            raise RuntimeError("algorithm %s supports no reference topology" % algorithm)
+
+        # Measure latency/bandwidth/contention on a preferred topology: the
+        # torus when supported, else the first supported family.
+        family = "torus" if "torus" in supported else next(iter(supported))
+        schedule = supported[family]
+        # Latency is an intrinsic algorithm property: take the best ratio
+        # across supported families (DBTree is low-latency on its friendly
+        # all-to-all-like topologies even though it contends on a torus).
+        best_ratio = min(
+            simulate_allreduce(sched, 32 * KiB).time
+            / simulate_allreduce(build_schedule("ring", topologies[fam]), 32 * KiB).time
+            for fam, sched in supported.items()
+        )
+        latency = "low" if best_ratio <= LOW_LATENCY_RATIO else "high"
+        bandwidth = (
+            "optimal"
+            if volume_ratio_to_optimal(schedule) <= BANDWIDTH_OPTIMAL_RATIO
+            else "sub-optimal"
+        )
+        result = simulate_allreduce(schedule, contention_bytes)
+        contention = (
+            "high"
+            if result.max_queue_delay() > CONTENTION_THRESHOLD * result.time
+            else "none"
+        )
+        rows.append(
+            Table1Row(
+                algorithm=algorithm,
+                latency=latency,
+                bandwidth=bandwidth,
+                contention=contention,
+                topologies=sorted(supported),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    header = "%-18s %-6s %-12s %-6s %s" % (
+        "Algorithm", "Lat.", "Bandwidth", "Cont.", "Various topologies",
+    )
+    return "\n".join([header, "-" * len(header)] + [row.format_row() for row in rows])

@@ -1,0 +1,55 @@
+"""ASCII rendering of MultiTree schedule trees (Fig. 3 style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..collectives.multitree import SpanningTree
+
+
+def render_tree(tree: SpanningTree) -> str:
+    """Draw one schedule tree with per-edge time steps."""
+    children: Dict[int, List] = {}
+    step_of: Dict[int, int] = {}
+    for edge in tree.edges:
+        children.setdefault(edge.parent, []).append(edge.child)
+        step_of[edge.child] = edge.step
+
+    lines = ["T%d" % tree.root]
+
+    def walk(node: int, prefix: str) -> None:
+        kids = children.get(node, [])
+        for i, child in enumerate(kids):
+            last = i == len(kids) - 1
+            connector = "`-" if last else "|-"
+            lines.append(
+                "%s%s %d (t=%d)" % (prefix, connector, child, step_of[child])
+            )
+            walk(child, prefix + ("   " if last else "|  "))
+
+    walk(tree.root, "")
+    return "\n".join(lines)
+
+
+def render_forest(trees: List[SpanningTree], limit: int = 4) -> str:
+    """Render the first ``limit`` trees side by side (vertically stacked)."""
+    return "\n\n".join(render_tree(tree) for tree in trees[:limit])
+
+
+def tree_statistics(trees: List[SpanningTree]) -> Dict[str, float]:
+    """Depth and branching statistics over the forest."""
+    depths = [tree.depth() for tree in trees]
+    fanouts = []
+    for tree in trees:
+        counts: Dict[int, int] = {}
+        for edge in tree.edges:
+            counts[edge.parent] = counts.get(edge.parent, 0) + 1
+        fanouts.extend(counts.values())
+    return {
+        "num_trees": len(trees),
+        "min_depth": min(depths) if depths else 0,
+        "max_depth": max(depths) if depths else 0,
+        "mean_depth": sum(depths) / len(depths) if depths else 0.0,
+        "max_fanout": max(fanouts) if fanouts else 0,
+        "mean_fanout": sum(fanouts) / len(fanouts) if fanouts else 0.0,
+    }

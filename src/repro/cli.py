@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``sweep``    all-reduce bandwidth across data sizes (a Fig. 9 panel)
+``trees``    print MultiTree construction and NI schedule tables (Fig. 3/5)
+``train``    one training iteration for a DNN workload (Fig. 11 rows)
+``table1``   the measured Table I
+``list``     available topologies, algorithms and DNN models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import format_bandwidth_table, format_table1, measure_table1, sweep_bandwidth
+from .collectives import ALGORITHMS, build_schedule, build_trees
+from .compute import MODEL_BUILDERS, get_model
+from .network import MessageBased, PacketBased
+from .ni import build_schedule_tables
+from .topology import BiGraph, FatTree, Mesh2D, Ring1D, Torus2D, Torus3D
+from .topology.base import Topology
+from .training import nonoverlapped_iteration, overlapped_iteration
+
+KiB = 1024
+MiB = 1 << 20
+
+TOPOLOGY_HELP = (
+    "torus WxH | mesh WxH | torus3d WxHxD | ring1d N | "
+    "fattree LEAVESxNODES | bigraph SWITCHES_PER_LAYERxNODES_PER_SWITCH"
+)
+
+
+def parse_topology(kind: str, dims: str) -> Topology:
+    parts = [int(p) for p in dims.lower().split("x")]
+    builders = {
+        "torus": lambda: Torus2D(*parts),
+        "mesh": lambda: Mesh2D(*parts),
+        "torus3d": lambda: Torus3D(*parts),
+        "ring1d": lambda: Ring1D(parts[0]),
+        "fattree": lambda: FatTree(*parts),
+        "bigraph": lambda: BiGraph(*parts),
+    }
+    try:
+        builder = builders[kind]
+    except KeyError:
+        raise SystemExit("unknown topology %r (choose: %s)" % (kind, TOPOLOGY_HELP))
+    try:
+        return builder()
+    except TypeError:
+        raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
+
+
+def parse_size(text: str) -> int:
+    text = text.strip().upper()
+    for suffix, factor in (("K", KiB), ("M", MiB), ("G", 1 << 30)):
+        if text.endswith(suffix):
+            return int(float(text[:-1]) * factor)
+    return int(text)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.dims)
+    sizes = [parse_size(s) for s in args.sizes.split(",")]
+    sweeps = []
+    for algorithm in args.algorithms.split(","):
+        algorithm = algorithm.strip()
+        if algorithm == "multitree-msg":
+            schedule = build_schedule("multitree", topology)
+            sweeps.append(
+                sweep_bandwidth(schedule, sizes, MessageBased(), label="multitree-msg")
+            )
+        else:
+            schedule = build_schedule(algorithm, topology)
+            sweeps.append(sweep_bandwidth(schedule, sizes, PacketBased()))
+    print("all-reduce bandwidth on %s" % topology.name)
+    print(format_bandwidth_table(sweeps))
+    return 0
+
+
+def _cmd_trees(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.dims)
+    trees, tot_t = build_trees(topology, priority=args.priority)
+    print("%s: %d trees built in %d time steps" % (topology.name, len(trees), tot_t))
+    for tree in trees[: args.limit]:
+        print("tree T%d (depth %d):" % (tree.root, tree.depth()))
+        for edge in tree.edges:
+            print("  step %d: %d -> %d" % (edge.step, edge.parent, edge.child))
+    if args.tables:
+        schedule = build_schedule("multitree", topology)
+        tables = build_schedule_tables(schedule, data_bytes=args.data_bytes)
+        for node in list(topology.nodes)[: args.limit]:
+            print()
+            print(tables[node].format())
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology, args.dims)
+    model = get_model(args.model)
+    print(
+        "%s on %s (%.1fM params, %.1f MB gradients)"
+        % (model.name, topology.name, model.total_params / 1e6, model.gradient_bytes / 1e6)
+    )
+    for algorithm in args.algorithms.split(","):
+        algorithm = algorithm.strip()
+        fc = MessageBased() if algorithm == "multitree-msg" else PacketBased()
+        name = "multitree" if algorithm == "multitree-msg" else algorithm
+        schedule = build_schedule(name, topology)
+        if args.overlap:
+            b = overlapped_iteration(model, schedule, flow_control=fc)
+            print(
+                "  %-14s %8.2f ms (compute %.2f, comm %.2f of which hidden %.2f)"
+                % (algorithm, b.total_time * 1e3, b.compute_time * 1e3,
+                   b.allreduce_time * 1e3, b.overlap_time * 1e3)
+            )
+        else:
+            b = nonoverlapped_iteration(model, schedule, flow_control=fc)
+            print(
+                "  %-14s %8.2f ms (compute %.2f + all-reduce %.2f, comm share %.0f%%)"
+                % (algorithm, b.total_time * 1e3, b.compute_time * 1e3,
+                   b.allreduce_time * 1e3, 100 * b.comm_fraction)
+            )
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(format_table1(measure_table1()))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("topologies: %s" % TOPOLOGY_HELP)
+    print("algorithms: %s (+ multitree-msg)" % ", ".join(sorted(ALGORITHMS)))
+    print("models:     %s" % ", ".join(sorted(MODEL_BUILDERS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MultiTree all-reduce co-design (ISCA 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="all-reduce bandwidth vs data size")
+    p.add_argument("--topology", default="torus")
+    p.add_argument("--dims", default="4x4", help=TOPOLOGY_HELP)
+    p.add_argument("--algorithms", default="ring,multitree,multitree-msg")
+    p.add_argument("--sizes", default="32K,1M,16M,64M")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("trees", help="print MultiTree construction (Fig. 3/5)")
+    p.add_argument("--topology", default="mesh")
+    p.add_argument("--dims", default="2x2")
+    p.add_argument("--priority", default="root-id")
+    p.add_argument("--limit", type=int, default=4, help="trees/tables to print")
+    p.add_argument("--tables", action="store_true", help="also print NI tables")
+    p.add_argument("--data-bytes", type=int, default=4096)
+    p.set_defaults(func=_cmd_trees)
+
+    p = sub.add_parser("train", help="one training iteration (Fig. 11 rows)")
+    p.add_argument("--model", default="ResNet50")
+    p.add_argument("--topology", default="torus")
+    p.add_argument("--dims", default="8x8")
+    p.add_argument("--algorithms", default="ring,2d-ring,multitree,multitree-msg")
+    p.add_argument("--overlap", action="store_true", help="layer-wise all-reduce")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("table1", help="measured Table I")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("list", help="available topologies/algorithms/models")
+    p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

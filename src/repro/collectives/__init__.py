@@ -1,0 +1,98 @@
+"""All-reduce communication algorithms lowering to a common schedule IR."""
+
+from typing import Callable, Dict
+
+from ..topology.base import Topology
+from .butterfly import butterfly_allreduce
+from .dbtree import BinaryTree, dbtree_allreduce, double_binary_trees
+from .halving_doubling import halving_doubling_allreduce, is_power_of_two
+from .hdrm import hdrm_allreduce, hdrm_rank_mapping
+from .hierarchical import hierarchical_allreduce
+from .multitree import SpanningTree, build_trees, multitree_allreduce
+from .primitives import (
+    all_gather_schedule,
+    alltoall_schedule,
+    broadcast_schedule,
+    reduce_scatter_schedule,
+    reduce_schedule,
+    verify_all_gather,
+    verify_alltoall,
+    verify_broadcast,
+    verify_reduce,
+    verify_reduce_scatter,
+)
+from .ring import ring_allreduce
+from .serialization import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .ring2d import ring2d_allreduce
+from .schedule import ChunkRange, CommOp, OpKind, Schedule
+from .validate import ExecutionResult, ScheduleError, execute, verify_allreduce
+
+#: Name -> builder for the algorithms evaluated in §VI.
+ALGORITHMS: Dict[str, Callable[[Topology], Schedule]] = {
+    "ring": ring_allreduce,
+    "dbtree": dbtree_allreduce,
+    "2d-ring": ring2d_allreduce,
+    "butterfly": butterfly_allreduce,
+    "halving-doubling": halving_doubling_allreduce,
+    "hdrm": hdrm_allreduce,
+    "hierarchical": hierarchical_allreduce,
+    "multitree": multitree_allreduce,
+}
+
+
+def build_schedule(algorithm: str, topology: Topology, **kwargs) -> Schedule:
+    """Build the named algorithm's schedule on ``topology``."""
+    try:
+        builder = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            "unknown algorithm %r; choose from %s" % (algorithm, sorted(ALGORITHMS))
+        )
+    return builder(topology, **kwargs)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "BinaryTree",
+    "ChunkRange",
+    "CommOp",
+    "ExecutionResult",
+    "OpKind",
+    "Schedule",
+    "ScheduleError",
+    "SpanningTree",
+    "all_gather_schedule",
+    "alltoall_schedule",
+    "broadcast_schedule",
+    "build_schedule",
+    "butterfly_allreduce",
+    "build_trees",
+    "reduce_scatter_schedule",
+    "reduce_schedule",
+    "verify_all_gather",
+    "verify_alltoall",
+    "verify_broadcast",
+    "verify_reduce",
+    "verify_reduce_scatter",
+    "dbtree_allreduce",
+    "double_binary_trees",
+    "execute",
+    "halving_doubling_allreduce",
+    "hdrm_allreduce",
+    "hdrm_rank_mapping",
+    "hierarchical_allreduce",
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "is_power_of_two",
+    "multitree_allreduce",
+    "ring2d_allreduce",
+    "ring_allreduce",
+    "verify_allreduce",
+]

@@ -1,0 +1,43 @@
+"""Butterfly (recursive-doubling) all-reduce (§VII-A, Rabenseifner [50]).
+
+Every step, each rank exchanges its *entire* accumulated vector with the
+partner whose rank differs in one bit, so after ``log2(n)`` steps every
+rank holds the global sum.  The paper's §VII-A discussion places it as the
+k=2 point of the tree-height trade-off: fewer steps than ring (good latency
+for small data) but ``log2(n) x`` the optimal per-node volume, so it
+"suffers from contention for large data size, where serialization latency
+plays a more important role" — and the bit-partner pattern maps as poorly
+onto physical topologies as DBTree's.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..topology.base import Topology
+from .halving_doubling import is_power_of_two
+from .schedule import ChunkRange, CommOp, OpKind, Schedule
+
+
+def butterfly_allreduce(topology: Topology) -> Schedule:
+    """Build the butterfly schedule (power-of-two node counts only)."""
+    n = topology.num_nodes
+    if not is_power_of_two(n):
+        raise ValueError("butterfly requires a power-of-two node count, got %d" % n)
+    whole = ChunkRange(Fraction(0), Fraction(1))
+    ops: List[CommOp] = []
+    for s in range(n.bit_length() - 1):
+        bit = 1 << s
+        for rank in range(n):
+            ops.append(
+                CommOp(
+                    kind=OpKind.REDUCE,
+                    src=rank,
+                    dst=rank ^ bit,
+                    chunk=whole,
+                    step=s + 1,
+                    flow=rank,
+                )
+            )
+    return Schedule(topology, ops, "butterfly", {"steps": n.bit_length() - 1})

@@ -1,0 +1,174 @@
+"""Double binary tree all-reduce (Sanders et al.; NCCL), §II-C.
+
+Two complementary binary trees are built over the ranks: the leaves of one
+tree are internal nodes of the other, so when each tree carries half of the
+gradient every rank both sends and receives at full rate.  Blocks are
+pipelined up (reduce) and down (broadcast) the trees, and the two trees are
+interleaved on even/odd time steps so a rank never sends in both trees in
+the same step (Fig. 4b).
+
+The trees are *topology-oblivious* by design — rank ``r`` is node ``r`` —
+which is exactly the property the paper criticizes: tree edges can span
+multiple physical hops and contend on unfriendly topologies such as Torus.
+
+Tree 1 uses the classic least-significant-bit construction on 1-based ranks
+(odd ranks are leaves); tree 2 shifts ranks by one when ``n`` is even and
+mirrors them when ``n`` is odd, making the two leaf sets complementary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..topology.base import Topology
+from .schedule import ChunkRange, CommOp, OpKind, Schedule
+
+
+@dataclass
+class BinaryTree:
+    """Parent/children maps over 0-based ranks."""
+
+    root: int
+    parent: Dict[int, int] = field(default_factory=dict)
+    children: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add_edge(self, parent: int, child: int) -> None:
+        self.parent[child] = parent
+        self.children.setdefault(parent, []).append(child)
+
+    def nodes(self) -> List[int]:
+        return [self.root] + list(self.parent)
+
+    def height_of(self, node: int) -> int:
+        """Longest distance from ``node`` down to a leaf of its subtree."""
+        kids = self.children.get(node, [])
+        if not kids:
+            return 0
+        return 1 + max(self.height_of(c) for c in kids)
+
+    def depth_of(self, node: int) -> int:
+        depth = 0
+        while node != self.root:
+            node = self.parent[node]
+            depth += 1
+        return depth
+
+
+def _lsb_tree(n: int) -> BinaryTree:
+    """The in-order lsb binary tree over 1-based ranks ``1..n``.
+
+    Rank ``r`` with least significant set bit ``b`` has children ``r - b/2``
+    and ``r + b/2``; when the right child exceeds ``n`` the offset is halved
+    until a valid rank is found (the standard clamping for non-power-of-two
+    sizes).  Odd ranks are leaves.  The root is the largest power of two
+    ``<= n``.
+    """
+    root = 1
+    while root * 2 <= n:
+        root *= 2
+    tree = BinaryTree(root=root - 1)
+
+    def attach(rank: int, offset: int) -> None:
+        if offset < 1:
+            return
+        left = rank - offset
+        if left >= 1:
+            tree.add_edge(rank - 1, left - 1)
+            attach(left, offset // 2)
+        right = rank + offset
+        while right > n and offset > 1:
+            offset //= 2
+            right = rank + offset
+        if right <= n and right != rank:
+            tree.add_edge(rank - 1, right - 1)
+            attach(right, offset // 2)
+
+    attach(root, root // 2)
+    return tree
+
+
+def _remap(tree: BinaryTree, mapping: Dict[int, int]) -> BinaryTree:
+    out = BinaryTree(root=mapping[tree.root])
+    for child, parent in tree.parent.items():
+        out.add_edge(mapping[parent], mapping[child])
+    return out
+
+
+def double_binary_trees(n: int) -> List[BinaryTree]:
+    """The two complementary trees over 0-based ranks ``0..n-1``."""
+    if n < 2:
+        raise ValueError("need at least 2 ranks")
+    base = _lsb_tree(n)
+    if n % 2 == 0:
+        shifted = {r: (r + 1) % n for r in range(n)}
+    else:
+        shifted = {r: n - 1 - r for r in range(n)}
+    return [base, _remap(base, shifted)]
+
+
+def dbtree_allreduce(
+    topology: Topology, num_blocks: Optional[int] = None
+) -> Schedule:
+    """Build the pipelined double-binary-tree all-reduce schedule.
+
+    Each tree carries one half of the gradient, split into ``num_blocks``
+    pipeline blocks (default ``max(2, n // 2)``, which matches ring's
+    per-step chunk size).  Within each tree, a node of height ``h`` forwards
+    block ``j`` to its parent at local reduce step ``j + h + 1``; the
+    broadcast mirrors with depth.  Tree 0 communicates on odd global steps
+    and tree 1 on even steps.
+    """
+    n = topology.num_nodes
+    blocks = num_blocks if num_blocks is not None else max(2, n // 2)
+    if blocks < 1:
+        raise ValueError("num_blocks must be >= 1")
+    trees = double_binary_trees(n)
+
+    ops: List[CommOp] = []
+    reduce_span = 0
+    plans = []
+    for tree_idx, tree in enumerate(trees):
+        heights = {node: tree.height_of(node) for node in tree.nodes()}
+        depths = {node: tree.depth_of(node) for node in tree.nodes()}
+        plans.append((tree, heights, depths))
+        local_last = blocks + max(heights.values())  # last local reduce step
+        reduce_span = max(reduce_span, 2 * local_last)
+
+    half = Fraction(1, 2)
+    for tree_idx, (tree, heights, depths) in enumerate(plans):
+        base_lo = tree_idx * half
+        for block in range(blocks):
+            lo = base_lo + Fraction(block, blocks) * half
+            hi = base_lo + Fraction(block + 1, blocks) * half
+            chunk = ChunkRange(lo, hi)
+            for child, parent in tree.parent.items():
+                local = block + heights[child] + 1
+                ops.append(
+                    CommOp(
+                        kind=OpKind.REDUCE,
+                        src=child,
+                        dst=parent,
+                        chunk=chunk,
+                        step=2 * local - 1 + tree_idx,
+                        flow=tree_idx,
+                    )
+                )
+                local_gather = block + depths[child]
+                ops.append(
+                    CommOp(
+                        kind=OpKind.GATHER,
+                        src=parent,
+                        dst=child,
+                        chunk=chunk,
+                        step=reduce_span + 2 * local_gather - 1 + tree_idx,
+                        flow=tree_idx,
+                    )
+                )
+    return Schedule(
+        topology=topology,
+        ops=ops,
+        algorithm="dbtree",
+        metadata={"num_blocks": blocks, "roots": [t.root for t in trees]},
+    )

@@ -1,0 +1,102 @@
+"""Recursive halving-doubling all-reduce (Thakur et al., MPICH), §I/§II-C.
+
+Reduce-scatter by recursive vector halving with distance doubling: in step
+``s`` each rank exchanges half of its current responsibility range with the
+partner whose rank differs in the ``s``-th most significant bit, keeping the
+half that contains its own final chunk.  All-gather reverses the recursion.
+Requires a power-of-two rank count; completes in ``2*log2(n)`` steps and is
+bandwidth-optimal, but partners are ``rank ^ bit`` — a pattern that maps
+poorly on most physical topologies unless ranks are remapped (HDRM).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from ..topology.base import Topology
+from .schedule import ChunkRange, CommOp, OpKind, Schedule
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def halving_doubling_allreduce(
+    topology: Topology,
+    rank_to_node: Optional[Sequence[int]] = None,
+    algorithm_name: str = "halving-doubling",
+) -> Schedule:
+    """Build the halving-doubling schedule.
+
+    ``rank_to_node`` optionally maps logical ranks to physical node ids (the
+    HDRM rank mapping); identity by default.
+    """
+    n = topology.num_nodes
+    if not is_power_of_two(n):
+        raise ValueError("halving-doubling requires a power-of-two node count, got %d" % n)
+    mapping = list(rank_to_node) if rank_to_node is not None else list(range(n))
+    if sorted(mapping) != list(range(n)):
+        raise ValueError("rank_to_node must be a permutation of all nodes")
+
+    log_n = n.bit_length() - 1
+    ops: List[CommOp] = []
+    # Responsibility range of each rank, narrowed as the recursion descends.
+    ranges: Dict[int, ChunkRange] = {r: ChunkRange(Fraction(0), Fraction(1)) for r in range(n)}
+
+    # Reduce-scatter: MSB-first.  Lower-half ranks keep the lower half of
+    # their current range and send the upper half, and vice versa.
+    for s in range(log_n):
+        bit = n >> (s + 1)
+        for rank in range(n):
+            partner = rank ^ bit
+            cur = ranges[rank]
+            mid = (cur.lo + cur.hi) / 2
+            keep_low = (rank & bit) == 0
+            send = ChunkRange(mid, cur.hi) if keep_low else ChunkRange(cur.lo, mid)
+            ops.append(
+                CommOp(
+                    kind=OpKind.REDUCE,
+                    src=mapping[rank],
+                    dst=mapping[partner],
+                    chunk=send,
+                    step=s + 1,
+                    flow=rank,
+                )
+            )
+        for rank in range(n):
+            cur = ranges[rank]
+            mid = (cur.lo + cur.hi) / 2
+            keep_low = (rank & bit) == 0
+            ranges[rank] = ChunkRange(cur.lo, mid) if keep_low else ChunkRange(mid, cur.hi)
+
+    # All-gather: LSB-first doubling; each rank sends its accumulated range
+    # to the partner and the ranges merge back up.
+    for s in range(log_n):
+        bit = 1 << s
+        for rank in range(n):
+            partner = rank ^ bit
+            ops.append(
+                CommOp(
+                    kind=OpKind.GATHER,
+                    src=mapping[rank],
+                    dst=mapping[partner],
+                    chunk=ranges[rank],
+                    step=log_n + s + 1,
+                    flow=rank,
+                )
+            )
+        merged: Dict[int, ChunkRange] = {}
+        for rank in range(n):
+            partner = rank ^ bit
+            lo = min(ranges[rank].lo, ranges[partner].lo)
+            hi = max(ranges[rank].hi, ranges[partner].hi)
+            merged[rank] = ChunkRange(lo, hi)
+        ranges = merged
+
+    return Schedule(
+        topology=topology,
+        ops=ops,
+        algorithm=algorithm_name,
+        metadata={"rank_to_node": mapping},
+    )

@@ -1,0 +1,69 @@
+"""Hierarchical ring all-reduce (BlueConnect-style, ref. [33] of the paper).
+
+BlueConnect decomposes all-reduce over the dimensions of a logical grid
+matched to the network hierarchy.  On switch-based networks the natural
+two-level grid is (switch group) x (position within group): a full ring
+all-reduce runs concurrently inside every switch group (one-switch-hop
+neighbors), then a second ring all-reduce runs across groups between nodes
+holding the same position (cross-switch).  Like 2D-Ring this trades ~2x
+data volume for far fewer, mostly-local steps — a realistic additional
+baseline for Fat-Tree/BiGraph topologies that the paper cites but does not
+plot.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from ..topology.base import Topology
+from ..topology.bigraph import BiGraph
+from ..topology.fattree import FatTree
+from .ring2d import _ring_allreduce_ops
+from .schedule import Schedule
+
+
+def _node_groups(topology: Topology) -> List[List[int]]:
+    if isinstance(topology, FatTree):
+        return [topology.leaf_members(i) for i in range(topology.num_leaves)]
+    if isinstance(topology, BiGraph):
+        return [
+            topology.switch_members(topology.num_nodes + i)
+            for i in range(topology.num_switches)
+        ]
+    raise TypeError(
+        "hierarchical all-reduce needs a switch-grouped topology "
+        "(FatTree or BiGraph), got %s" % topology.name
+    )
+
+
+def hierarchical_allreduce(topology: Topology) -> Schedule:
+    """Two-level ring all-reduce: within switch groups, then across them."""
+    groups = _node_groups(topology)
+    sizes = {len(g) for g in groups}
+    if len(sizes) != 1:
+        raise ValueError("switch groups must be equal-sized")
+    group_size = sizes.pop()
+    if group_size < 2 or len(groups) < 2:
+        raise ValueError("need at least 2 groups of at least 2 nodes")
+
+    ops: List = []
+    whole = Fraction(1)
+    # Phase 1: ring all-reduce of the full gradient inside every group.
+    step = 1
+    used = 0
+    for group in groups:
+        used = _ring_allreduce_ops(group, Fraction(0), whole, step, 0, ops)
+    step += used
+    # Phase 2: ring all-reduce across groups (same position in each group).
+    flow_base = group_size
+    for position in range(group_size):
+        members = [group[position] for group in groups]
+        _ring_allreduce_ops(members, Fraction(0), whole, step, flow_base, ops)
+        flow_base += len(groups)
+    return Schedule(
+        topology=topology,
+        ops=ops,
+        algorithm="hierarchical",
+        metadata={"groups": len(groups), "group_size": group_size},
+    )

@@ -1,0 +1,202 @@
+"""MULTITREE all-reduce construction and scheduling (Algorithm 1, §III).
+
+One spanning tree is rooted at every node.  Trees are built *top-down and
+concurrently*: for each time step a fresh copy of the topology graph hands
+out link capacity, trees take turns (ascending root id) adding one child at
+a time to a node that joined in a *previous* step, and the step ends when no
+tree can connect another node with the remaining capacity.  Building from
+the roots makes the levels near the roots denser — balancing communication
+across tree levels — and consuming shared link capacity inside a step makes
+the resulting per-step schedule contention-free by construction.
+
+The all-gather (broadcast) schedule falls directly out of construction; the
+reduce-scatter schedule is its time-reversed mirror (lines 16-18).  On
+switch-based networks, child search runs breadth-first over the
+node-to-switch / switch-to-switch / switch-to-node capacity lists (§III-C3)
+and the allocated route is recorded on each op for source routing (§IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.base import Allocation, LinkKey, Topology
+from .schedule import ChunkRange, CommOp, OpKind, Schedule
+
+
+@dataclass
+class TreeEdge:
+    """One parent->child connection with its construction time step."""
+
+    parent: int
+    child: int
+    step: int
+    route: Tuple[LinkKey, ...]
+
+
+@dataclass
+class SpanningTree:
+    """A schedule tree rooted at ``root`` (the flow/tree id)."""
+
+    root: int
+    num_nodes: int
+    edges: List[TreeEdge] = field(default_factory=list)
+    added_step: Dict[int, int] = field(default_factory=dict)
+    order: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.order:
+            self.added_step[self.root] = 0
+            self.order.append(self.root)
+
+    @property
+    def members(self) -> Dict[int, int]:
+        return self.added_step
+
+    @property
+    def complete(self) -> bool:
+        return len(self.added_step) == self.num_nodes
+
+    def add(self, allocation: Allocation, step: int) -> None:
+        child = allocation.child
+        if child in self.added_step:
+            raise ValueError("node %d already in tree %d" % (child, self.root))
+        self.edges.append(
+            TreeEdge(allocation.parent, child, step, tuple(allocation.route))
+        )
+        self.added_step[child] = step
+        self.order.append(child)
+
+    def parents_for_step(self, step: int) -> List[int]:
+        """Members added before ``step``, in breadth-first addition order."""
+        return [n for n in self.order if self.added_step[n] < step]
+
+    def parent_of(self, node: int) -> Optional[int]:
+        for edge in self.edges:
+            if edge.child == node:
+                return edge.parent
+        return None
+
+    def children_of(self, node: int) -> List[int]:
+        return [edge.child for edge in self.edges if edge.parent == node]
+
+    def depth(self) -> int:
+        return max((edge.step for edge in self.edges), default=0)
+
+
+#: Tree turn orders for the construction loop (line 8 of Algorithm 1).
+#: ``root-id`` is the paper's default ("works fine in most cases,
+#: especially for symmetric networks like Torus"); ``most-remaining``
+#: prioritizes trees with the most unconnected nodes — the paper's
+#: suggested refinement for asymmetric/irregular networks where trees with
+#: larger remaining height should be scheduled earlier.
+TREE_PRIORITIES = ("root-id", "most-remaining")
+
+
+def build_trees(
+    topology: Topology, priority: str = "root-id"
+) -> Tuple[List[SpanningTree], int]:
+    """Run Algorithm 1's construction loop (lines 1-15).
+
+    Returns the |V| spanning trees (edge steps = all-gather time steps) and
+    the total number of time steps ``tot_t``.
+    """
+    if priority not in TREE_PRIORITIES:
+        raise ValueError(
+            "unknown priority %r; choose from %s" % (priority, TREE_PRIORITIES)
+        )
+    n = topology.num_nodes
+    trees = [SpanningTree(root=node, num_nodes=n) for node in topology.nodes]
+    step = 0
+    while not all(tree.complete for tree in trees):
+        step += 1
+        alloc = topology.allocation_graph()  # fresh G'(V', E') for this step
+        progress = True
+        while progress:
+            progress = False
+            if priority == "most-remaining":
+                turn_order = sorted(
+                    trees, key=lambda t: (len(t.members), t.root)
+                )
+            else:
+                turn_order = trees  # ascending root id (line 8)
+            for tree in turn_order:
+                if tree.complete:
+                    continue
+                members = tree.members
+                eligible = lambda c: c not in members
+                found = None
+                # Prefer the shortest connection available anywhere in the
+                # tree: same-switch (2 links), then one inter-switch hop
+                # (3), then unbounded.  On direct networks every candidate
+                # is one link, so only the last pass matters.  This is the
+                # "check close neighbors first" refinement of §III-C3 and
+                # keeps expensive multi-switch routes for when nothing
+                # closer exists, preserving per-step link budget.
+                for limit in (2, 3, None):
+                    for parent in tree.parents_for_step(step):  # line 9
+                        found = alloc.find_child(parent, eligible, limit)
+                        if found is not None:
+                            break
+                    if found is not None:
+                        break
+                if found is not None:
+                    tree.add(found, step)
+                    progress = True
+        if step > 4 * n:  # safety net; never triggered on connected graphs
+            raise RuntimeError("MultiTree construction did not converge")
+    return trees, step
+
+
+def _reverse_route(route: Tuple[LinkKey, ...]) -> Tuple[LinkKey, ...]:
+    return tuple((dst, src) for (src, dst) in reversed(route))
+
+
+def multitree_allreduce(topology: Topology, priority: str = "root-id") -> Schedule:
+    """Build the full MULTITREE all-reduce schedule.
+
+    Tree ``f`` carries chunk ``f`` (1/n of the gradient).  Reduce-scatter
+    runs the trees leaf-to-root in mirrored time (steps ``1..tot_t``), then
+    all-gather runs root-to-leaf (steps ``tot_t+1..2*tot_t``), exactly the
+    adjustment of lines 16-18.
+    """
+    trees, tot_t = build_trees(topology, priority)
+    n = topology.num_nodes
+    ops: List[CommOp] = []
+    for tree in trees:
+        chunk = ChunkRange.nth_of(tree.root, n)
+        for edge in tree.edges:
+            route = edge.route if edge.route else None
+            ops.append(
+                CommOp(
+                    kind=OpKind.REDUCE,
+                    src=edge.child,
+                    dst=edge.parent,
+                    chunk=chunk,
+                    step=tot_t - edge.step + 1,
+                    flow=tree.root,
+                    route=_reverse_route(edge.route) if route else None,
+                )
+            )
+            ops.append(
+                CommOp(
+                    kind=OpKind.GATHER,
+                    src=edge.parent,
+                    dst=edge.child,
+                    chunk=chunk,
+                    step=tot_t + edge.step,
+                    flow=tree.root,
+                    route=edge.route if route else None,
+                )
+            )
+    return Schedule(
+        topology=topology,
+        ops=ops,
+        algorithm="multitree",
+        metadata={
+            "tot_t": tot_t,
+            "priority": priority,
+            "tree_depths": [tree.depth() for tree in trees],
+        },
+    )

@@ -1,0 +1,252 @@
+"""Additional collectives built from the MULTITREE schedule trees (§VII-B).
+
+The paper notes that reduce-scatter and all-gather are "naturally
+supported", that a single tree gives reduce/broadcast, and that "the
+all-gather trees can also easily support all-to-all collective in recent
+DNN workloads such as DLRM".  This module materializes those primitives:
+
+* :func:`reduce_scatter_schedule` — the reduce half of MULTITREE: chunk ``f``
+  ends fully reduced on node ``f``.
+* :func:`all_gather_schedule` — the gather half: node ``f`` starts owning
+  chunk ``f`` and everyone ends with everything.
+* :func:`broadcast_schedule` / :func:`reduce_schedule` — one tree, whole
+  vector, root-to-leaves or leaves-to-root.
+* :func:`alltoall_schedule` — personalized all-to-all: source ``i``'s chunk
+  for destination ``j`` travels down tree ``T_i``; each tree edge carries
+  one op per destination in the child's subtree, all at the edge's
+  all-gather time step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..topology.base import Topology
+from .multitree import SpanningTree, _reverse_route, build_trees
+from .schedule import ChunkRange, CommOp, OpKind, Schedule
+from .validate import ScheduleError
+
+
+def reduce_scatter_schedule(topology: Topology) -> Schedule:
+    """Reduce-scatter: after it, node ``f`` holds the fully reduced chunk ``f``."""
+    trees, tot_t = build_trees(topology)
+    n = topology.num_nodes
+    ops: List[CommOp] = []
+    for tree in trees:
+        chunk = ChunkRange.nth_of(tree.root, n)
+        for edge in tree.edges:
+            ops.append(
+                CommOp(
+                    kind=OpKind.REDUCE,
+                    src=edge.child,
+                    dst=edge.parent,
+                    chunk=chunk,
+                    step=tot_t - edge.step + 1,
+                    flow=tree.root,
+                    route=_reverse_route(edge.route) if edge.route else None,
+                )
+            )
+    return Schedule(topology, ops, "multitree-reduce-scatter", {"tot_t": tot_t})
+
+
+def all_gather_schedule(topology: Topology) -> Schedule:
+    """All-gather: node ``f`` starts owning chunk ``f``; everyone ends with all."""
+    trees, tot_t = build_trees(topology)
+    n = topology.num_nodes
+    ops: List[CommOp] = []
+    for tree in trees:
+        chunk = ChunkRange.nth_of(tree.root, n)
+        for edge in tree.edges:
+            ops.append(
+                CommOp(
+                    kind=OpKind.GATHER,
+                    src=edge.parent,
+                    dst=edge.child,
+                    chunk=chunk,
+                    step=edge.step,
+                    flow=tree.root,
+                    route=edge.route if edge.route else None,
+                )
+            )
+    return Schedule(topology, ops, "multitree-all-gather", {"tot_t": tot_t})
+
+
+def _single_tree(topology: Topology, root: int) -> SpanningTree:
+    trees, _ = build_trees(topology)
+    return trees[root]
+
+
+def broadcast_schedule(topology: Topology, root: int = 0) -> Schedule:
+    """Broadcast the whole vector from ``root`` down its schedule tree."""
+    if not 0 <= root < topology.num_nodes:
+        raise ValueError("root %d outside node range" % root)
+    tree = _single_tree(topology, root)
+    whole = ChunkRange.nth_of(0, 1)
+    ops = [
+        CommOp(
+            kind=OpKind.GATHER,
+            src=edge.parent,
+            dst=edge.child,
+            chunk=whole,
+            step=edge.step,
+            flow=root,
+            route=edge.route if edge.route else None,
+        )
+        for edge in tree.edges
+    ]
+    return Schedule(topology, ops, "multitree-broadcast", {"root": root})
+
+
+def reduce_schedule(topology: Topology, root: int = 0) -> Schedule:
+    """Reduce the whole vector from all nodes to ``root`` (reverse broadcast)."""
+    if not 0 <= root < topology.num_nodes:
+        raise ValueError("root %d outside node range" % root)
+    tree = _single_tree(topology, root)
+    tot_t = max(edge.step for edge in tree.edges)
+    whole = ChunkRange.nth_of(0, 1)
+    ops = [
+        CommOp(
+            kind=OpKind.REDUCE,
+            src=edge.child,
+            dst=edge.parent,
+            chunk=whole,
+            step=tot_t - edge.step + 1,
+            flow=root,
+            route=_reverse_route(edge.route) if edge.route else None,
+        )
+        for edge in tree.edges
+    ]
+    return Schedule(topology, ops, "multitree-reduce", {"root": root})
+
+
+def alltoall_schedule(topology: Topology) -> Schedule:
+    """Personalized all-to-all over the all-gather trees (§VII-B / DLRM).
+
+    Source ``i``'s buffer is divided into ``n`` destination chunks; chunk
+    ``j`` rides tree ``T_i`` from the root toward node ``j``, so each tree
+    edge ``(p -> c)`` carries one op per destination in ``c``'s subtree.
+    Ops are ``GATHER``-kind (data forwarding); ``flow`` is the source tree.
+    The data range identifies the *destination* slice of the source buffer.
+    """
+    trees, tot_t = build_trees(topology)
+    n = topology.num_nodes
+    ops: List[CommOp] = []
+    for tree in trees:
+        subtree: Dict[int, Set[int]] = {node: {node} for node in topology.nodes}
+        # Accumulate subtree membership bottom-up (children were added later).
+        for edge in reversed(tree.edges):
+            subtree[edge.parent] |= subtree[edge.child]
+        for edge in tree.edges:
+            for dest in sorted(subtree[edge.child]):
+                ops.append(
+                    CommOp(
+                        kind=OpKind.GATHER,
+                        src=edge.parent,
+                        dst=edge.child,
+                        chunk=ChunkRange.nth_of(dest, n),
+                        step=edge.step,
+                        flow=tree.root,
+                        route=edge.route if edge.route else None,
+                    )
+                )
+    return Schedule(topology, ops, "multitree-alltoall", {"tot_t": tot_t})
+
+
+# ---------------------------------------------------------------------------
+# Validators
+# ---------------------------------------------------------------------------
+
+def verify_reduce_scatter(schedule: Schedule) -> None:
+    """Node ``f`` must end with chunk ``f`` fully reduced."""
+    from .validate import execute
+
+    result = execute(schedule)
+    n = schedule.topology.num_nodes
+    grain = max(schedule.granularity, 1)
+    per_chunk = grain // n
+    for node in range(n):
+        lo, hi = node * per_chunk, (node + 1) * per_chunk
+        if not np.all(result.counts[node, lo:hi] == n):
+            raise ScheduleError("node %d chunk not fully reduced" % node)
+        if not np.array_equal(result.values[node, lo:hi], result.expected[lo:hi]):
+            raise ScheduleError("node %d chunk has wrong value" % node)
+
+
+def verify_all_gather(schedule: Schedule) -> None:
+    """Starting from per-node chunk ownership, everyone ends with everything."""
+    n = schedule.topology.num_nodes
+    grain = max(schedule.granularity, 1)
+    per_chunk = grain // n
+    rng = np.random.default_rng(0xB0B)
+    owned = rng.integers(1, 1_000_000, size=grain, dtype=np.int64)
+
+    values = np.zeros((n, grain), dtype=np.int64)
+    for node in range(n):
+        lo, hi = node * per_chunk, (node + 1) * per_chunk
+        values[node, lo:hi] = owned[lo:hi]
+    for _step, step_ops in schedule.steps():
+        snap = values.copy()
+        for op in step_ops:
+            lo, hi = op.chunk.unit_span(grain)
+            if op.kind is not OpKind.GATHER:
+                raise ScheduleError("all-gather schedule contains non-gather op")
+            values[op.dst, lo:hi] = snap[op.src, lo:hi]
+    if not np.array_equal(values, np.tile(owned, (n, 1))):
+        raise ScheduleError("all-gather did not deliver every chunk everywhere")
+
+
+def verify_broadcast(schedule: Schedule, root: int) -> None:
+    n = schedule.topology.num_nodes
+    have = {root}
+    for _step, step_ops in schedule.steps():
+        snapshot = set(have)
+        for op in step_ops:
+            if op.src not in snapshot:
+                raise ScheduleError("node %d forwards before receiving" % op.src)
+            have.add(op.dst)
+    if have != set(range(n)):
+        raise ScheduleError("broadcast missed nodes %s" % (set(range(n)) - have))
+
+
+def verify_reduce(schedule: Schedule, root: int) -> None:
+    from .validate import execute
+
+    result = execute(schedule)
+    n = schedule.topology.num_nodes
+    if not np.all(result.counts[root] == n):
+        raise ScheduleError("root %d missing contributions" % root)
+    if not np.array_equal(result.values[root], result.expected):
+        raise ScheduleError("root %d has wrong reduced value" % root)
+
+
+def verify_alltoall(schedule: Schedule) -> None:
+    """Each destination must receive exactly its slice from every source."""
+    n = schedule.topology.num_nodes
+    rng = np.random.default_rng(0xD1CE)
+    send = rng.integers(1, 1_000_000, size=(n, n), dtype=np.int64)  # [src, dst]
+
+    # held[node] maps source -> that source's dest-slices currently held.
+    held = [{node: dict()} for node in range(n)]
+    for src in range(n):
+        held[src][src] = {dst: send[src, dst] for dst in range(n)}
+    for _step, step_ops in schedule.steps():
+        snapshot = [
+            {flow: dict(slices) for flow, slices in node_state.items()}
+            for node_state in held
+        ]
+        for op in step_ops:
+            src_state = snapshot[op.src].get(op.flow, {})
+            dest = int(op.chunk.lo * n)
+            if dest not in src_state:
+                raise ScheduleError(
+                    "node %d forwards slice (%d->%d) it does not hold"
+                    % (op.src, op.flow, dest)
+                )
+            held[op.dst].setdefault(op.flow, {})[dest] = src_state[dest]
+    for dst in range(n):
+        for src in range(n):
+            got = held[dst].get(src, {}).get(dst)
+            if got is None or got != send[src, dst]:
+                raise ScheduleError("destination %d missing slice from %d" % (dst, src))

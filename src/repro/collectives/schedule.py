@@ -1,0 +1,190 @@
+"""Intermediate representation for all-reduce communication schedules.
+
+Every all-reduce algorithm in this package (ring, double binary tree,
+2D-ring, halving-doubling/HDRM, MultiTree) lowers to the same IR: a list of
+:class:`CommOp` records.  Each op moves an exact sub-range of the gradient
+vector between two nodes at a given *time step*, in one of two semantic
+modes mirroring the schedule-table opcodes of Fig. 5:
+
+* ``REDUCE`` — the payload is a partial sum that the destination aggregates
+  (reduce-scatter direction, leaves toward roots), and
+* ``GATHER`` — the payload is a fully-reduced value the destination copies
+  (all-gather/broadcast direction, roots toward leaves).
+
+Data ranges are exact :class:`fractions.Fraction` intervals over the unit
+gradient vector so schedule algebra (volume accounting, overlap-based
+dependencies, correctness execution) is exact.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..topology.base import LinkKey, Topology
+
+
+class OpKind(enum.Enum):
+    REDUCE = "reduce"
+    GATHER = "gather"
+
+
+@dataclass(frozen=True)
+class ChunkRange:
+    """A half-open sub-interval ``[lo, hi)`` of the unit gradient vector."""
+
+    lo: Fraction
+    hi: Fraction
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo < self.hi <= 1):
+            raise ValueError("invalid chunk range [%s, %s)" % (self.lo, self.hi))
+
+    @property
+    def fraction(self) -> Fraction:
+        return self.hi - self.lo
+
+    def bytes_of(self, total_bytes: float) -> float:
+        return float(self.fraction) * total_bytes
+
+    def overlaps(self, other: "ChunkRange") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    def contains(self, other: "ChunkRange") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def unit_span(self, granularity: int) -> Tuple[int, int]:
+        """Integer unit indices ``[start, stop)`` at the given granularity."""
+        start = self.lo * granularity
+        stop = self.hi * granularity
+        if start.denominator != 1 or stop.denominator != 1:
+            raise ValueError(
+                "range [%s, %s) not aligned to granularity %d"
+                % (self.lo, self.hi, granularity)
+            )
+        return int(start), int(stop)
+
+    @staticmethod
+    def nth_of(index: int, count: int) -> "ChunkRange":
+        """The ``index``-th of ``count`` equal chunks."""
+        return ChunkRange(Fraction(index, count), Fraction(index + 1, count))
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One scheduled point-to-point transfer."""
+
+    kind: OpKind
+    src: int
+    dst: int
+    chunk: ChunkRange
+    step: int
+    flow: int = 0
+    #: Pre-allocated route (MultiTree on indirect networks allocates switch
+    #: capacity during construction); ``None`` means topology routing.
+    route: Optional[Tuple[LinkKey, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("op sends to itself at node %d" % self.src)
+        if self.step < 1:
+            raise ValueError("steps are 1-based, got %d" % self.step)
+
+
+@dataclass
+class Schedule:
+    """A complete all-reduce schedule over a topology."""
+
+    topology: Topology
+    ops: List[CommOp]
+    algorithm: str
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.ops = sorted(self.ops, key=lambda op: (op.step, op.src, op.dst, op.chunk.lo))
+
+    # -- shape queries --------------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        return max((op.step for op in self.ops), default=0)
+
+    @property
+    def granularity(self) -> int:
+        """Smallest unit count that aligns every op's range to integers."""
+        denom = 1
+        for op in self.ops:
+            denom = denom * op.chunk.lo.denominator // math.gcd(denom, op.chunk.lo.denominator)
+            denom = denom * op.chunk.hi.denominator // math.gcd(denom, op.chunk.hi.denominator)
+        return denom
+
+    def ops_at_step(self, step: int) -> List[CommOp]:
+        return [op for op in self.ops if op.step == step]
+
+    def steps(self) -> Iterable[Tuple[int, List[CommOp]]]:
+        by_step: Dict[int, List[CommOp]] = defaultdict(list)
+        for op in self.ops:
+            by_step[op.step].append(op)
+        for step in sorted(by_step):
+            yield step, by_step[step]
+
+    def ops_from(self, node: int) -> List[CommOp]:
+        return [op for op in self.ops if op.src == node]
+
+    def ops_to(self, node: int) -> List[CommOp]:
+        return [op for op in self.ops if op.dst == node]
+
+    # -- volume accounting ------------------------------------------------------
+
+    def bytes_sent_per_node(self, data_bytes: float) -> Dict[int, float]:
+        sent: Dict[int, float] = defaultdict(float)
+        for op in self.ops:
+            sent[op.src] += op.chunk.bytes_of(data_bytes)
+        return dict(sent)
+
+    def max_bytes_sent(self, data_bytes: float) -> float:
+        per_node = self.bytes_sent_per_node(data_bytes)
+        return max(per_node.values()) if per_node else 0.0
+
+    def total_data_fraction(self) -> Fraction:
+        """Total transferred data as a multiple of the gradient size."""
+        return sum((op.chunk.fraction for op in self.ops), Fraction(0))
+
+    def route_of(self, op: CommOp) -> List[LinkKey]:
+        if op.route is not None:
+            return list(op.route)
+        return self.topology.route(op.src, op.dst)
+
+    # -- structural checks --------------------------------------------------------
+
+    def check_endpoints(self) -> None:
+        """Every op endpoint must be a compute node of the topology."""
+        n = self.topology.num_nodes
+        for op in self.ops:
+            if not (0 <= op.src < n and 0 <= op.dst < n):
+                raise ValueError("op endpoint outside node range: %s" % (op,))
+
+    def per_step_link_loads(self) -> Dict[int, Dict[LinkKey, int]]:
+        """How many ops use each link in each step (contention witness)."""
+        loads: Dict[int, Dict[LinkKey, int]] = defaultdict(lambda: defaultdict(int))
+        for op in self.ops:
+            for key in self.route_of(op):
+                loads[op.step][key] += 1
+        return {step: dict(links) for step, links in loads.items()}
+
+    def max_step_link_overlap(self) -> int:
+        """Max ops sharing one link within a step, normalized by capacity.
+
+        1 means contention-free under lockstep execution (every link carries
+        at most ``capacity`` concurrent transfers per step).
+        """
+        worst = 0
+        for step, links in self.per_step_link_loads().items():
+            for key, count in links.items():
+                capacity = self.topology.link(*key).capacity
+                worst = max(worst, -(-count // capacity))
+        return worst

@@ -1,0 +1,59 @@
+"""SCALE-Sim-style accelerator timing model and DNN workload tables."""
+
+from .layers import (
+    BYTES_PER_PARAM,
+    Conv2D,
+    Dense,
+    Embedding,
+    Gemm,
+    GemmShape,
+    Layer,
+)
+from .memory import (
+    MemoryTraffic,
+    gemm_traffic,
+    layer_traffic,
+    model_dram_footprint_bytes,
+)
+from .models import (
+    MODEL_BUILDERS,
+    DNNModel,
+    alexnet,
+    all_models,
+    alphagozero,
+    faster_rcnn,
+    get_model,
+    googlenet,
+    ncf,
+    resnet50,
+    transformer,
+)
+from .systolic import DATAFLOWS, Accelerator, SystolicArray
+
+__all__ = [
+    "BYTES_PER_PARAM",
+    "MODEL_BUILDERS",
+    "Accelerator",
+    "Conv2D",
+    "DATAFLOWS",
+    "DNNModel",
+    "Dense",
+    "Embedding",
+    "Gemm",
+    "GemmShape",
+    "Layer",
+    "MemoryTraffic",
+    "SystolicArray",
+    "gemm_traffic",
+    "layer_traffic",
+    "model_dram_footprint_bytes",
+    "alexnet",
+    "all_models",
+    "alphagozero",
+    "faster_rcnn",
+    "get_model",
+    "googlenet",
+    "ncf",
+    "resnet50",
+    "transformer",
+]

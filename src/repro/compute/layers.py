@@ -1,0 +1,184 @@
+"""DNN layer descriptors and their GEMM view.
+
+The systolic-array timing model consumes every layer as an (M, K, N) GEMM:
+``M`` output rows (e.g. output pixels), ``K`` accumulation depth (e.g.
+kernel volume) and ``N`` output columns (e.g. filters).  Convolutions are
+lowered with the usual im2col equivalence.  Parameter counts drive gradient
+sizes for all-reduce (4 bytes/parameter at the paper's 32-bit precision,
+Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+BYTES_PER_PARAM = 4  # 32-bit precision (Table III)
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One (M x K) @ (K x N) matrix multiply."""
+
+    m: int
+    k: int
+    n: int
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base layer; subclasses define parameters and forward GEMM shape."""
+
+    name: str
+
+    @property
+    def params(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def gradient_bytes(self) -> int:
+        return self.params * BYTES_PER_PARAM
+
+    def forward_gemm(self) -> GemmShape:
+        raise NotImplementedError
+
+    def backward_gemms(self) -> List[GemmShape]:
+        """Weight-gradient and input-gradient GEMMs.
+
+        Both have the same MAC count as the forward pass (dW = x^T dy and
+        dx = dy W^T); the input-gradient of the very first layer could be
+        skipped, which we conservatively keep for simplicity.
+        """
+        fwd = self.forward_gemm()
+        weight_grad = GemmShape(m=fwd.k, k=fwd.m, n=fwd.n)
+        input_grad = GemmShape(m=fwd.m, k=fwd.n, n=fwd.k)
+        return [weight_grad, input_grad]
+
+    @property
+    def has_weights(self) -> bool:
+        return self.params > 0
+
+
+def _conv_out(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2D convolution, square or rectangular kernels, 'same'-style padding."""
+
+    ifmap_h: int = 1
+    ifmap_w: int = 1
+    in_channels: int = 1
+    kernel_h: int = 1
+    kernel_w: int = 1
+    num_filters: int = 1
+    stride: int = 1
+    padding: int = 0
+    bias: bool = True
+
+    @property
+    def out_h(self) -> int:
+        return _conv_out(self.ifmap_h, self.kernel_h, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        return _conv_out(self.ifmap_w, self.kernel_w, self.stride, self.padding)
+
+    @property
+    def params(self) -> int:
+        weights = self.kernel_h * self.kernel_w * self.in_channels * self.num_filters
+        return weights + (self.num_filters if self.bias else 0)
+
+    def forward_gemm(self) -> GemmShape:
+        return GemmShape(
+            m=self.out_h * self.out_w,
+            k=self.kernel_h * self.kernel_w * self.in_channels,
+            n=self.num_filters,
+        )
+
+    def backward_gemms(self) -> List[GemmShape]:
+        """Weight-gradient GEMM plus the transposed-convolution input grad.
+
+        The input gradient is a transposed convolution over the (dilated)
+        output gradient (§VI-C: CNNs "need to compute transposed
+        convolution for input gradients").  Mapped naively onto the array it
+        is an im2col GEMM over the *input* pixels with the zero-dilated
+        gradient as activations — M = ifmap pixels, K = kernel volume times
+        filters — which makes strided, high-resolution layers considerably
+        more expensive backward than forward, as in the paper's extended
+        SCALE-Sim.
+        """
+        fwd = self.forward_gemm()
+        weight_grad = GemmShape(m=fwd.k, k=fwd.m, n=fwd.n)
+        input_grad = GemmShape(
+            m=self.ifmap_h * self.ifmap_w,
+            k=self.kernel_h * self.kernel_w * self.num_filters,
+            n=self.in_channels,
+        )
+        return [weight_grad, input_grad]
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully connected layer; ``m`` rows processed per sample (usually 1)."""
+
+    in_features: int = 1
+    out_features: int = 1
+    rows: int = 1
+    bias: bool = True
+
+    @property
+    def params(self) -> int:
+        return self.in_features * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+
+    def forward_gemm(self) -> GemmShape:
+        return GemmShape(m=self.rows, k=self.in_features, n=self.out_features)
+
+
+@dataclass(frozen=True)
+class Gemm(Layer):
+    """A raw GEMM with optional trainable parameters (attention matmuls
+    carry no weights; projection matmuls carry k*n weights)."""
+
+    m: int = 1
+    k: int = 1
+    n: int = 1
+    weight_params: int = 0
+
+    @property
+    def params(self) -> int:
+        return self.weight_params
+
+    def forward_gemm(self) -> GemmShape:
+        return GemmShape(self.m, self.k, self.n)
+
+
+@dataclass(frozen=True)
+class Embedding(Layer):
+    """Embedding table: huge parameters, negligible MACs (table lookups).
+
+    ``lookups`` rows are gathered per sample; the forward 'GEMM' is modeled
+    as a 1-MAC-deep row copy, and the backward pass only scatters gradients,
+    so its compute is the same negligible amount.
+    """
+
+    vocab: int = 1
+    dim: int = 1
+    lookups: int = 1
+
+    @property
+    def params(self) -> int:
+        return self.vocab * self.dim
+
+    def forward_gemm(self) -> GemmShape:
+        return GemmShape(m=self.lookups, k=1, n=self.dim)
+
+    def backward_gemms(self) -> List[GemmShape]:
+        return [GemmShape(m=self.lookups, k=1, n=self.dim)]

@@ -1,0 +1,101 @@
+"""SRAM/DRAM traffic accounting for the systolic model (SCALE-Sim outputs).
+
+SCALE-Sim reports, alongside cycles, the scratchpad (SRAM) access counts
+and DRAM traffic per layer.  For an output-stationary (M, K, N) GEMM on an
+R x C array:
+
+* every fold streams its operand panels: ``rows_used * K`` activation
+  reads and ``cols_used * K`` weight reads from SRAM, plus
+  ``rows_used * cols_used`` output writes;
+* with double buffering and ideal reuse, DRAM traffic is the unique
+  footprint: activations (M*K), weights (K*N) and outputs (M*N), each
+  moved once.
+
+These numbers size the paper's "sufficient memory bandwidth (such as high
+bandwidth memory) to maintain peak compute throughput" assumption (§V-A):
+:meth:`MemoryTraffic.required_dram_bandwidth` is the bandwidth below which
+that assumption would break.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .layers import BYTES_PER_PARAM, GemmShape, Layer
+from .systolic import SystolicArray
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Access counts for one GEMM (in elements unless noted)."""
+
+    sram_activation_reads: int
+    sram_weight_reads: int
+    sram_output_writes: int
+    dram_bytes: int
+    cycles: int
+    clock_hz: float
+
+    @property
+    def sram_accesses(self) -> int:
+        return (
+            self.sram_activation_reads
+            + self.sram_weight_reads
+            + self.sram_output_writes
+        )
+
+    def required_dram_bandwidth(self) -> float:
+        """Bytes/s of DRAM bandwidth needed to keep the array busy."""
+        runtime = self.cycles / self.clock_hz
+        return self.dram_bytes / runtime if runtime > 0 else 0.0
+
+
+def gemm_traffic(pe: SystolicArray, gemm: GemmShape) -> MemoryTraffic:
+    """Traffic for one GEMM under output-stationary dataflow."""
+    row_folds = math.ceil(gemm.m / pe.rows)
+    col_folds = math.ceil(gemm.n / pe.cols)
+    # Per row fold, the rows actually occupied (last fold may be partial).
+    act_reads = 0
+    out_writes = 0
+    for rf in range(row_folds):
+        rows_used = min(pe.rows, gemm.m - rf * pe.rows)
+        act_reads += rows_used * gemm.k * col_folds
+        for cf in range(col_folds):
+            cols_used = min(pe.cols, gemm.n - cf * pe.cols)
+            out_writes += rows_used * cols_used
+    weight_reads = 0
+    for cf in range(col_folds):
+        cols_used = min(pe.cols, gemm.n - cf * pe.cols)
+        weight_reads += cols_used * gemm.k * row_folds
+    dram_bytes = BYTES_PER_PARAM * (
+        gemm.m * gemm.k + gemm.k * gemm.n + gemm.m * gemm.n
+    )
+    return MemoryTraffic(
+        sram_activation_reads=act_reads,
+        sram_weight_reads=weight_reads,
+        sram_output_writes=out_writes,
+        dram_bytes=dram_bytes,
+        cycles=pe.gemm_cycles(gemm),
+        clock_hz=pe.clock_hz,
+    )
+
+
+def layer_traffic(pe: SystolicArray, layer: Layer, backward: bool = False) -> MemoryTraffic:
+    """Aggregate traffic for a layer's forward (or backward) pass."""
+    gemms = layer.backward_gemms() if backward else [layer.forward_gemm()]
+    parts = [gemm_traffic(pe, g) for g in gemms]
+    return MemoryTraffic(
+        sram_activation_reads=sum(p.sram_activation_reads for p in parts),
+        sram_weight_reads=sum(p.sram_weight_reads for p in parts),
+        sram_output_writes=sum(p.sram_output_writes for p in parts),
+        dram_bytes=sum(p.dram_bytes for p in parts),
+        cycles=sum(p.cycles for p in parts),
+        clock_hz=pe.clock_hz,
+    )
+
+
+def model_dram_footprint_bytes(layers: Sequence[Layer]) -> int:
+    """Unique DRAM bytes touched by one forward pass over all layers."""
+    return sum(layer_traffic(SystolicArray(), layer).dram_bytes for layer in layers)

@@ -1,0 +1,276 @@
+"""Layer tables for the seven DNN workloads of §V-B.
+
+These mirror the SCALE-Sim topology files the paper uses: *AlexNet*,
+*AlphaGoZero*, *FasterRCNN* (VGG-16 backbone), *GoogLeNet*, *NCF*,
+*ResNet50* and *Transformer* (base).  Parameter counts (which set the
+all-reduce gradient sizes) land on the published figures: ~61 M for
+AlexNet, ~7 M for GoogLeNet, ~25.6 M for ResNet50, ~65 M for Transformer,
+embedding-dominated tables for NCF, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .layers import BYTES_PER_PARAM, Conv2D, Dense, Embedding, Gemm, Layer
+
+
+@dataclass
+class DNNModel:
+    """A named workload: an ordered list of layers (forward order)."""
+
+    name: str
+    layers: List[Layer] = field(default_factory=list)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def gradient_bytes(self) -> int:
+        return self.total_params * BYTES_PER_PARAM
+
+    def weighted_layers(self) -> List[Layer]:
+        """Layers that own trainable parameters (and hence gradients)."""
+        return [layer for layer in self.layers if layer.has_weights]
+
+
+# ---------------------------------------------------------------------------
+# AlexNet (Krizhevsky et al., 2012)
+# ---------------------------------------------------------------------------
+
+def alexnet() -> DNNModel:
+    return DNNModel(
+        "AlexNet",
+        [
+            Conv2D("conv1", 227, 227, 3, 11, 11, 96, stride=4),
+            Conv2D("conv2", 27, 27, 96, 5, 5, 256, padding=2),
+            Conv2D("conv3", 13, 13, 256, 3, 3, 384, padding=1),
+            Conv2D("conv4", 13, 13, 384, 3, 3, 384, padding=1),
+            Conv2D("conv5", 13, 13, 384, 3, 3, 256, padding=1),
+            Dense("fc6", 9216, 4096),
+            Dense("fc7", 4096, 4096),
+            Dense("fc8", 4096, 1000),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# AlphaGoZero (Silver et al., 2017): 19x19 board, 256-filter residual tower
+# ---------------------------------------------------------------------------
+
+def alphagozero(num_residual_blocks: int = 19) -> DNNModel:
+    layers: List[Layer] = [
+        Conv2D("stem", 19, 19, 17, 3, 3, 256, padding=1),
+    ]
+    for block in range(num_residual_blocks):
+        for half in (1, 2):
+            layers.append(
+                Conv2D(
+                    "res%d_conv%d" % (block + 1, half),
+                    19, 19, 256, 3, 3, 256, padding=1,
+                )
+            )
+    layers.extend(
+        [
+            Conv2D("policy_conv", 19, 19, 256, 1, 1, 2),
+            Dense("policy_fc", 2 * 19 * 19, 362),
+            Conv2D("value_conv", 19, 19, 256, 1, 1, 1),
+            Dense("value_fc1", 19 * 19, 256),
+            Dense("value_fc2", 256, 1),
+        ]
+    )
+    return DNNModel("AlphaGoZero", layers)
+
+
+# ---------------------------------------------------------------------------
+# FasterRCNN (Ren et al., 2015) with the VGG-16 backbone
+# ---------------------------------------------------------------------------
+
+_VGG16_CFG = [
+    # (spatial, in_channels, out_channels) per conv, pools implied by size
+    (224, 3, 64), (224, 64, 64),
+    (112, 64, 128), (112, 128, 128),
+    (56, 128, 256), (56, 256, 256), (56, 256, 256),
+    (28, 256, 512), (28, 512, 512), (28, 512, 512),
+    (14, 512, 512), (14, 512, 512), (14, 512, 512),
+]
+
+
+def faster_rcnn(num_classes: int = 21) -> DNNModel:
+    layers: List[Layer] = [
+        Conv2D("vgg_conv%d" % (i + 1), hw, hw, cin, 3, 3, cout, padding=1)
+        for i, (hw, cin, cout) in enumerate(_VGG16_CFG)
+    ]
+    # Region proposal network over the 14x14x512 feature map.
+    layers.append(Conv2D("rpn_conv", 14, 14, 512, 3, 3, 512, padding=1))
+    layers.append(Conv2D("rpn_cls", 14, 14, 512, 1, 1, 18))
+    layers.append(Conv2D("rpn_bbox", 14, 14, 512, 1, 1, 36))
+    # Detection head on 7x7x512 RoI-pooled features.
+    layers.append(Dense("head_fc6", 7 * 7 * 512, 4096))
+    layers.append(Dense("head_fc7", 4096, 4096))
+    layers.append(Dense("head_cls", 4096, num_classes))
+    layers.append(Dense("head_bbox", 4096, 4 * num_classes))
+    return DNNModel("FasterRCNN", layers)
+
+
+# ---------------------------------------------------------------------------
+# GoogLeNet (Szegedy et al., 2015)
+# ---------------------------------------------------------------------------
+
+#: (name, spatial, in_ch, 1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj)
+_INCEPTION_CFG = [
+    ("3a", 28, 192, 64, 96, 128, 16, 32, 32),
+    ("3b", 28, 256, 128, 128, 192, 32, 96, 64),
+    ("4a", 14, 480, 192, 96, 208, 16, 48, 64),
+    ("4b", 14, 512, 160, 112, 224, 24, 64, 64),
+    ("4c", 14, 512, 128, 128, 256, 24, 64, 64),
+    ("4d", 14, 512, 112, 144, 288, 32, 64, 64),
+    ("4e", 14, 528, 256, 160, 320, 32, 128, 128),
+    ("5a", 7, 832, 256, 160, 320, 32, 128, 128),
+    ("5b", 7, 832, 384, 192, 384, 48, 128, 128),
+]
+
+
+def _inception_module(
+    name: str, hw: int, cin: int,
+    n1x1: int, n3x3red: int, n3x3: int, n5x5red: int, n5x5: int, pool_proj: int,
+) -> List[Layer]:
+    return [
+        Conv2D("inc%s_1x1" % name, hw, hw, cin, 1, 1, n1x1),
+        Conv2D("inc%s_3x3red" % name, hw, hw, cin, 1, 1, n3x3red),
+        Conv2D("inc%s_3x3" % name, hw, hw, n3x3red, 3, 3, n3x3, padding=1),
+        Conv2D("inc%s_5x5red" % name, hw, hw, cin, 1, 1, n5x5red),
+        Conv2D("inc%s_5x5" % name, hw, hw, n5x5red, 5, 5, n5x5, padding=2),
+        Conv2D("inc%s_pool_proj" % name, hw, hw, cin, 1, 1, pool_proj),
+    ]
+
+
+def googlenet() -> DNNModel:
+    layers: List[Layer] = [
+        Conv2D("conv1", 224, 224, 3, 7, 7, 64, stride=2, padding=3),
+        Conv2D("conv2_red", 56, 56, 64, 1, 1, 64),
+        Conv2D("conv2", 56, 56, 64, 3, 3, 192, padding=1),
+    ]
+    for cfg in _INCEPTION_CFG:
+        layers.extend(_inception_module(*cfg))
+    layers.append(Dense("fc", 1024, 1000))
+    return DNNModel("GoogLeNet", layers)
+
+
+# ---------------------------------------------------------------------------
+# NCF — Neural Collaborative Filtering (He et al., 2017) on MovieLens-20M
+# ---------------------------------------------------------------------------
+
+def ncf(num_users: int = 138_493, num_items: int = 26_744, dim: int = 64) -> DNNModel:
+    return DNNModel(
+        "NCF",
+        [
+            Embedding("gmf_user_emb", num_users, dim, lookups=1),
+            Embedding("gmf_item_emb", num_items, dim, lookups=1),
+            Embedding("mlp_user_emb", num_users, dim, lookups=1),
+            Embedding("mlp_item_emb", num_items, dim, lookups=1),
+            Dense("mlp_fc1", 2 * dim, 256),
+            Dense("mlp_fc2", 256, 128),
+            Dense("mlp_fc3", 128, 64),
+            Dense("prediction", dim + 64, 1),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# ResNet50 (He et al., 2016)
+# ---------------------------------------------------------------------------
+
+#: (stage name, spatial out, mid channels, out channels, num blocks)
+_RESNET50_STAGES = [
+    ("conv2", 56, 64, 256, 3),
+    ("conv3", 28, 128, 512, 4),
+    ("conv4", 14, 256, 1024, 6),
+    ("conv5", 7, 512, 2048, 3),
+]
+
+
+def resnet50() -> DNNModel:
+    layers: List[Layer] = [
+        Conv2D("conv1", 224, 224, 3, 7, 7, 64, stride=2, padding=3),
+    ]
+    cin = 64
+    for stage, hw, mid, cout, blocks in _RESNET50_STAGES:
+        for block in range(blocks):
+            prefix = "%s_%d" % (stage, block + 1)
+            layers.append(Conv2D(prefix + "_1x1a", hw, hw, cin, 1, 1, mid))
+            layers.append(Conv2D(prefix + "_3x3", hw, hw, mid, 3, 3, mid, padding=1))
+            layers.append(Conv2D(prefix + "_1x1b", hw, hw, mid, 1, 1, cout))
+            if block == 0:
+                layers.append(Conv2D(prefix + "_proj", hw, hw, cin, 1, 1, cout))
+            cin = cout
+    layers.append(Dense("fc", 2048, 1000))
+    return DNNModel("ResNet50", layers)
+
+
+# ---------------------------------------------------------------------------
+# Transformer base (Vaswani et al., 2017)
+# ---------------------------------------------------------------------------
+
+def transformer(
+    num_layers: int = 6,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    vocab: int = 37_000,
+    seq_len: int = 64,
+) -> DNNModel:
+    layers: List[Layer] = [
+        Embedding("token_emb", vocab, d_model, lookups=seq_len),
+    ]
+
+    def attention_block(prefix: str) -> List[Layer]:
+        return [
+            Gemm(prefix + "_q", seq_len, d_model, d_model, weight_params=d_model * d_model),
+            Gemm(prefix + "_k", seq_len, d_model, d_model, weight_params=d_model * d_model),
+            Gemm(prefix + "_v", seq_len, d_model, d_model, weight_params=d_model * d_model),
+            Gemm(prefix + "_scores", seq_len, d_model, seq_len),
+            Gemm(prefix + "_context", seq_len, seq_len, d_model),
+            Gemm(prefix + "_out", seq_len, d_model, d_model, weight_params=d_model * d_model),
+        ]
+
+    def ffn_block(prefix: str) -> List[Layer]:
+        return [
+            Gemm(prefix + "_ff1", seq_len, d_model, d_ff, weight_params=d_model * d_ff),
+            Gemm(prefix + "_ff2", seq_len, d_ff, d_model, weight_params=d_ff * d_model),
+        ]
+
+    for i in range(num_layers):
+        layers.extend(attention_block("enc%d_self" % (i + 1)))
+        layers.extend(ffn_block("enc%d" % (i + 1)))
+    for i in range(num_layers):
+        layers.extend(attention_block("dec%d_self" % (i + 1)))
+        layers.extend(attention_block("dec%d_cross" % (i + 1)))
+        layers.extend(ffn_block("dec%d" % (i + 1)))
+    # Output projection shares the embedding weights (tied), so it adds
+    # compute but no parameters.
+    layers.append(Gemm("output_proj", seq_len, d_model, vocab))
+    return DNNModel("Transformer", layers)
+
+
+MODEL_BUILDERS = {
+    "AlexNet": alexnet,
+    "AlphaGoZero": alphagozero,
+    "FasterRCNN": faster_rcnn,
+    "GoogLeNet": googlenet,
+    "NCF": ncf,
+    "ResNet50": resnet50,
+    "Transformer": transformer,
+}
+
+
+def get_model(name: str) -> DNNModel:
+    try:
+        return MODEL_BUILDERS[name]()
+    except KeyError:
+        raise ValueError("unknown model %r; choose from %s" % (name, sorted(MODEL_BUILDERS)))
+
+
+def all_models() -> Dict[str, DNNModel]:
+    return {name: builder() for name, builder in MODEL_BUILDERS.items()}

@@ -1,0 +1,107 @@
+"""Output-stationary systolic-array timing model (SCALE-Sim-style, §V-A).
+
+A ``rows x cols`` MAC array computes an (M, K, N) GEMM by tiling the output
+matrix: M maps to array rows, N to array columns.  Each *fold* computes one
+``rows x cols`` output tile by streaming K operand pairs through the array;
+with output-stationary dataflow a fold takes ``K`` accumulation cycles plus
+``rows + cols - 2`` cycles of skewed pipeline fill/drain.  Double buffering
+and high-bandwidth memory are assumed to sustain peak operand delivery
+(§V-A), so folds are back to back.
+
+The accelerator has ``num_pes`` such arrays.  Under the paper's data-parallel
+setup the per-accelerator mini-batch equals the PE count (16 samples on 16
+PEs), so each PE runs a full per-sample forward+backward pass and the
+accelerator's iteration latency equals the per-sample latency — with the
+realistic consequence that M=1 fully connected layers utilize only one
+array row, which is what makes AlexNet compute-bound in Fig. 11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from .layers import GemmShape, Layer
+
+
+#: Supported dataflows.  The paper evaluates output stationary (§V-A);
+#: weight stationary is provided for sensitivity studies (SCALE-Sim
+#: supports both).
+DATAFLOWS = ("output-stationary", "weight-stationary")
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """One PE: a square (or rectangular) systolic MAC array.
+
+    * ``output-stationary``: output tiles pin to the array; each of the
+      ``ceil(M/R) * ceil(N/C)`` folds streams K operand pairs plus skewed
+      fill/drain.
+    * ``weight-stationary``: weight tiles pin to the array; each of the
+      ``ceil(K/R) * ceil(N/C)`` folds streams the M activation rows plus a
+      per-fold weight-load phase of R cycles and the skew.
+    """
+
+    rows: int = 32
+    cols: int = 32
+    clock_hz: float = 1e9
+    dataflow: str = "output-stationary"
+
+    def __post_init__(self) -> None:
+        if self.dataflow not in DATAFLOWS:
+            raise ValueError(
+                "unknown dataflow %r; choose from %s" % (self.dataflow, DATAFLOWS)
+            )
+
+    def gemm_cycles(self, gemm: GemmShape) -> int:
+        fill_drain = self.rows + self.cols - 2
+        if self.dataflow == "weight-stationary":
+            folds = math.ceil(gemm.k / self.rows) * math.ceil(gemm.n / self.cols)
+            return folds * (gemm.m + self.rows + fill_drain)
+        folds = math.ceil(gemm.m / self.rows) * math.ceil(gemm.n / self.cols)
+        return folds * (gemm.k + fill_drain)
+
+    def gemm_time(self, gemm: GemmShape) -> float:
+        return self.gemm_cycles(gemm) / self.clock_hz
+
+    def utilization(self, gemm: GemmShape) -> float:
+        """Achieved MACs per cycle relative to peak."""
+        peak = self.rows * self.cols * self.gemm_cycles(gemm)
+        return gemm.macs / peak if peak else 0.0
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A TPU-like accelerator: several systolic PEs plus reduction logic.
+
+    Configuration defaults follow Table III: 16 PEs of 32x32 MACs at 1 GHz.
+    """
+
+    pe: SystolicArray = SystolicArray()
+    num_pes: int = 16
+
+    @property
+    def samples_per_accelerator(self) -> int:
+        """The paper's mini-batch share: one sample per PE (§V-B)."""
+        return self.num_pes
+
+    def layer_forward_time(self, layer: Layer) -> float:
+        return self.pe.gemm_time(layer.forward_gemm())
+
+    def layer_backward_time(self, layer: Layer) -> float:
+        return sum(self.pe.gemm_time(g) for g in layer.backward_gemms())
+
+    def forward_time(self, layers: Sequence[Layer]) -> float:
+        return sum(self.layer_forward_time(layer) for layer in layers)
+
+    def backward_time(self, layers: Sequence[Layer]) -> float:
+        return sum(self.layer_backward_time(layer) for layer in layers)
+
+    def iteration_compute_time(self, layers: Sequence[Layer]) -> float:
+        """Forward + backward for the per-accelerator mini-batch.
+
+        All PEs run one sample each in parallel, so the batch latency is the
+        single-sample latency.
+        """
+        return self.forward_time(layers) + self.backward_time(layers)

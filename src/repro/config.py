@@ -1,0 +1,67 @@
+"""System configuration presets (Table III).
+
+Bundles the accelerator and network parameters the paper evaluates with, so
+experiments can be re-run against a single source of truth and varied
+coherently (e.g. doubling link bandwidth scales both the simulator and the
+lockstep estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .compute.systolic import Accelerator, SystolicArray
+from .network.flowcontrol import FLIT_BYTES, MessageBased, PacketBased
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The Table III configuration."""
+
+    # PE / accelerator
+    mac_rows: int = 32
+    mac_cols: int = 32
+    num_pes: int = 16
+    accelerator_clock_hz: float = 1e9
+    precision_bits: int = 32
+    # Network
+    router_clock_hz: float = 1e9
+    num_vcs: int = 4
+    vc_buffer_depth_flits: int = 318
+    data_packet_payload_bytes: int = 256
+    link_latency_s: float = 150e-9
+    link_bandwidth_bytes_per_s: float = 16e9
+    flit_bytes: int = FLIT_BYTES
+
+    def accelerator(self) -> Accelerator:
+        return Accelerator(
+            pe=SystolicArray(
+                rows=self.mac_rows,
+                cols=self.mac_cols,
+                clock_hz=self.accelerator_clock_hz,
+            ),
+            num_pes=self.num_pes,
+        )
+
+    def packet_flow_control(self) -> PacketBased:
+        return PacketBased(
+            payload_bytes=self.data_packet_payload_bytes,
+            flit_bytes=self.flit_bytes,
+        )
+
+    def message_flow_control(self) -> MessageBased:
+        return MessageBased(flit_bytes=self.flit_bytes)
+
+    @property
+    def flit_cycles(self) -> float:
+        """Router cycles to serialize one flit on a link."""
+        per_second = self.link_bandwidth_bytes_per_s / self.flit_bytes
+        return self.router_clock_hz / per_second
+
+    @property
+    def link_latency_cycles(self) -> int:
+        return round(self.link_latency_s * self.router_clock_hz)
+
+
+#: The paper's evaluated configuration.
+TABLE_III = SystemConfig()

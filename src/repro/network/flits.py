@@ -1,0 +1,168 @@
+"""Flit formats and message framing (§IV-B, Fig. 7/8, Table II).
+
+Two framings of a gradient transfer:
+
+* **Packet-based** (Fig. 7a): the payload is split into packets of at most
+  ``payload_bytes``; each packet is ``[HEAD, BODY*, TAIL]`` (or a single
+  HEAD_AND_TAIL flit).  Every head flit carries full route info and costs a
+  flit slot on the wire.
+* **Message-based** (Fig. 7b): the whole gradient is one message of
+  sub-packets.  Only the very first flit is a head flit (SUB_HEAD, carrying
+  the pre-computed Next/Eject source route and the Tree ID, Fig. 8d);
+  sub-packet boundaries are *marked* on payload flits via the SUB_TAIL
+  type, costing no extra flits.  The final flit is SUB_LAST.
+
+Flit type codes follow Table II exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .flowcontrol import FLIT_BYTES
+
+
+class FlitType(enum.Enum):
+    """Table II: 3-bit flit type codes."""
+
+    HEAD = 0b000
+    BODY = 0b001
+    TAIL = 0b010
+    HEAD_AND_TAIL = 0b011
+    SUB_HEAD = 0b100       # head flit of a big-gradient message
+    SUB_BODY = 0b101
+    SUB_TAIL = 0b110       # marks the end of a sub-packet
+    SUB_LAST = 0b111       # tail flit of the whole gradient message
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_AND_TAIL, FlitType.SUB_HEAD)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_AND_TAIL, FlitType.SUB_LAST)
+
+    @property
+    def is_subpacket(self) -> bool:
+        return bool(self.value & 0b100)
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """Fig. 8c: destination/source for distributed routing (normal packets)."""
+
+    dest: int
+    src: int
+
+
+@dataclass(frozen=True)
+class SubPacketInfo:
+    """Fig. 8d: source-routed next hop + ejection port + tree id."""
+
+    next_port: int
+    eject_port: int
+    tree: int
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One 16-byte flit.  ``payload_bytes`` is the useful data it carries
+    (0 for pure head flits whose slot is all metadata)."""
+
+    kind: FlitType
+    vc: int = 0
+    payload_bytes: int = 0
+    info: Optional[object] = None  # RouteInfo or SubPacketInfo on head flits
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_bytes <= FLIT_BYTES:
+            raise ValueError("flit payload must fit in %d bytes" % FLIT_BYTES)
+        if self.kind.is_head and self.payload_bytes:
+            raise ValueError("head flits carry metadata, not payload")
+
+
+def frame_packets(
+    data_bytes: int,
+    route_info: RouteInfo,
+    payload_bytes: int = 256,
+    vc: int = 0,
+) -> List[Flit]:
+    """Fig. 7a framing: per-packet head flits + payload body/tail flits."""
+    if data_bytes <= 0:
+        raise ValueError("cannot frame an empty transfer")
+    flits: List[Flit] = []
+    remaining = data_bytes
+    while remaining > 0:
+        chunk = min(remaining, payload_bytes)
+        remaining -= chunk
+        body_flits = math.ceil(chunk / FLIT_BYTES)
+        if body_flits == 0:
+            flits.append(Flit(FlitType.HEAD_AND_TAIL, vc, 0, route_info))
+            continue
+        flits.append(Flit(FlitType.HEAD, vc, 0, route_info))
+        left = chunk
+        for i in range(body_flits):
+            size = min(left, FLIT_BYTES)
+            left -= size
+            kind = FlitType.TAIL if i == body_flits - 1 else FlitType.BODY
+            flits.append(Flit(kind, vc, size))
+    return flits
+
+
+def frame_message(
+    data_bytes: int,
+    sub_info: SubPacketInfo,
+    sub_packet_bytes: int = 256,
+    vc: int = 0,
+) -> List[Flit]:
+    """Fig. 7b framing: a single head flit, sub-tail markers, one tail."""
+    if data_bytes <= 0:
+        raise ValueError("cannot frame an empty transfer")
+    flits: List[Flit] = [Flit(FlitType.SUB_HEAD, vc, 0, sub_info)]
+    total_flits = math.ceil(data_bytes / FLIT_BYTES)
+    flits_per_sub = max(1, sub_packet_bytes // FLIT_BYTES)
+    left = data_bytes
+    for i in range(total_flits):
+        size = min(left, FLIT_BYTES)
+        left -= size
+        last = i == total_flits - 1
+        sub_boundary = (i + 1) % flits_per_sub == 0
+        if last:
+            kind = FlitType.SUB_LAST
+        elif sub_boundary:
+            kind = FlitType.SUB_TAIL
+        else:
+            kind = FlitType.SUB_BODY
+        flits.append(Flit(kind, vc, size))
+    return flits
+
+
+def payload_of(flits: Sequence[Flit]) -> int:
+    """Total useful bytes carried by a flit stream."""
+    return sum(f.payload_bytes for f in flits)
+
+
+def head_flit_count(flits: Sequence[Flit]) -> int:
+    return sum(1 for f in flits if f.kind.is_head)
+
+
+def validate_stream(flits: Sequence[Flit]) -> None:
+    """Check framing invariants: heads open, tails close, no interleaving."""
+    open_packet = False
+    for flit in flits:
+        if flit.kind.is_head:
+            if open_packet:
+                raise ValueError("head flit inside an open packet")
+            open_packet = not flit.kind.is_tail  # HEAD_AND_TAIL closes itself
+            if flit.info is None:
+                raise ValueError("head flit missing route info")
+        else:
+            if not open_packet:
+                raise ValueError("payload flit outside a packet")
+            if flit.kind in (FlitType.TAIL, FlitType.SUB_LAST):
+                open_packet = False
+    if open_packet:
+        raise ValueError("stream ends inside an open packet")

@@ -1,0 +1,211 @@
+"""Cycle-level flit network simulator (the BookSim-fidelity layer).
+
+Where :mod:`repro.network.simulator` treats a transfer as one reservation
+per link, this model moves individual 16-byte flits cycle by cycle with:
+
+* one flit per cycle per link (16 B @ 16 GB/s = 1 ns = 1 cycle at the
+  Table III 1 GHz router clock),
+* credit-based virtual cut-through buffering (default 318-flit buffers,
+  Table III) with backpressure when a downstream buffer fills,
+* per-packet link granting: a packet holds its output link from head to
+  tail, and each new head flit pays a switch-arbitration penalty cycle —
+  the "extra control such as routing and arbitration, causing extra delay"
+  of §II-C.  A message-based gradient (single head flit) therefore pays
+  arbitration once instead of once per 256-byte packet.
+
+It is intended for small configurations and cross-validation of the
+link-level model; its asymptotic bandwidth ratios (packet vs message
+framing) are the same quantities Fig. 2 and §VI-A report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..topology.base import LinkKey, Topology
+from .flits import Flit, validate_stream
+
+
+@dataclass
+class FlitTransfer:
+    """One framed transfer to play through the flit network."""
+
+    flits: List[Flit]
+    route: List[LinkKey]
+    inject_cycle: int = 0
+    tag: object = None
+
+    def __post_init__(self) -> None:
+        if not self.route:
+            raise ValueError("flit transfers need at least one hop")
+        validate_stream(self.flits)
+
+
+@dataclass
+class TransferTiming:
+    first_flit_out: int = -1
+    done_cycle: int = -1
+
+
+@dataclass
+class _HopState:
+    """Per-transfer, per-hop progress."""
+
+    sent: int = 0                       # flits pushed into this hop
+    available: Deque[int] = field(default_factory=deque)  # arrival cycles
+
+
+class FlitLevelSimulator:
+    """Plays framed transfers over a topology, cycle by cycle."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        buffer_depth: int = 318,
+        latency_cycles: int = 150,
+        arbitration_penalty: int = 1,
+    ) -> None:
+        if buffer_depth < 1:
+            raise ValueError("buffer depth must be >= 1")
+        self.topology = topology
+        self.buffer_depth = buffer_depth
+        self.latency_cycles = latency_cycles
+        self.arbitration_penalty = arbitration_penalty
+
+    def run(self, transfers: Sequence[FlitTransfer]) -> List[TransferTiming]:
+        depth = self.buffer_depth
+        timings = [TransferTiming() for _ in transfers]
+
+        # Per-(transfer, hop) progress; hop 0 availability is injection.
+        states: List[List[_HopState]] = []
+        for t in transfers:
+            hops = [_HopState() for _ in t.route]
+            hops[0].available = deque(
+                [t.inject_cycle] * len(t.flits)
+            )
+            states.append(hops)
+
+        credits: Dict[LinkKey, int] = {}
+        holder: Dict[LinkKey, Optional[int]] = {}
+        grant_ready: Dict[LinkKey, int] = {}
+
+        remaining = {
+            idx: len(t.flits) for idx, t in enumerate(transfers)
+        }  # flits not yet delivered at destination
+        active_links: Dict[LinkKey, List[int]] = {}
+        for idx, t in enumerate(transfers):
+            active_links.setdefault(t.route[0], []).append(idx)
+
+        cycle = 0
+        guard = 0
+        while remaining:
+            guard += 1
+            if guard > 100_000_000:  # pragma: no cover - safety net
+                raise RuntimeError("flit simulation did not converge")
+            for key in list(active_links):
+                contenders = active_links.get(key, [])
+                if not contenders:
+                    del active_links[key]
+                    continue
+                current = holder.get(key)
+                if current is None:
+                    current = self._arbitrate(key, contenders, states, transfers, cycle)
+                    if current is None:
+                        continue
+                    holder[key] = current
+                    grant_ready[key] = cycle + self.arbitration_penalty
+                    continue  # grant pipeline stage
+                if cycle < grant_ready.get(key, 0):
+                    continue
+                self._advance(
+                    key, current, transfers, states, timings, remaining,
+                    credits, holder, active_links, cycle,
+                )
+            cycle += 1
+
+        return timings
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _hop_index(self, transfer: FlitTransfer, key: LinkKey) -> int:
+        return transfer.route.index(key)
+
+    def _arbitrate(
+        self,
+        key: LinkKey,
+        contenders: List[int],
+        states: List[List[_HopState]],
+        transfers: Sequence[FlitTransfer],
+        cycle: int,
+    ) -> Optional[int]:
+        """Grant the link to the first contender with an available head flit."""
+        for idx in contenders:
+            transfer = transfers[idx]
+            hop = self._hop_index(transfer, key)
+            state = states[idx][hop]
+            if state.sent >= len(transfer.flits):
+                continue
+            if state.available and state.available[0] <= cycle:
+                return idx
+        return None
+
+    def _advance(
+        self,
+        key: LinkKey,
+        idx: int,
+        transfers: Sequence[FlitTransfer],
+        states: List[List[_HopState]],
+        timings: List[TransferTiming],
+        remaining: Dict[int, int],
+        credits: Dict[LinkKey, int],
+        holder: Dict[LinkKey, Optional[int]],
+        active_links: Dict[LinkKey, List[int]],
+        cycle: int,
+    ) -> None:
+        """Move one flit of transfer ``idx`` across ``key`` if possible."""
+        transfer = transfers[idx]
+        hop = self._hop_index(transfer, key)
+        state = states[idx][hop]
+        if state.sent >= len(transfer.flits):
+            holder[key] = None
+            return
+        if not state.available or state.available[0] > cycle:
+            return
+        last_hop = hop == len(transfer.route) - 1
+        if not last_hop and credits.setdefault(key, self.buffer_depth) <= 0:
+            return  # backpressure: downstream buffer full
+        # Send the flit.
+        state.available.popleft()
+        flit = transfer.flits[state.sent]
+        state.sent += 1
+        arrive = cycle + self.latency_cycles
+        if timings[idx].first_flit_out < 0 and hop == 0:
+            timings[idx].first_flit_out = cycle
+        if hop > 0:
+            # Departing this node frees a slot filled by the previous hop.
+            prev_key = transfer.route[hop - 1]
+            credits[prev_key] = credits.get(prev_key, self.buffer_depth) + 1
+        if last_hop:
+            remaining[idx] -= 1
+            if remaining[idx] == 0:
+                timings[idx].done_cycle = arrive
+                del remaining[idx]
+        else:
+            credits[key] -= 1
+            nxt = states[idx][hop + 1]
+            nxt.available.append(arrive)
+            next_key = transfer.route[hop + 1]
+            contenders = active_links.setdefault(next_key, [])
+            if idx not in contenders:
+                contenders.append(idx)
+        # Release the link at packet boundaries (tail flits).
+        if flit.kind.is_tail:
+            holder[key] = None
+        if state.sent >= len(transfer.flits):
+            # Done with this hop entirely; stop contending for it.
+            contenders = active_links.get(key, [])
+            if idx in contenders:
+                contenders.remove(idx)
+            holder[key] = None if holder.get(key) == idx else holder.get(key)

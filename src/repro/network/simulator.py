@@ -1,0 +1,196 @@
+"""Discrete-event, link-level interconnect simulator.
+
+The simulator plays a set of point-to-point :class:`Message`\\ s over the
+topology's links.  Each link is a set of ``capacity`` independently
+grantable channels with FIFO arbitration; a message acquires the channels
+along its route hop by hop in virtual-cut-through fashion (the head advances
+one link latency per hop, each channel is held for the message's wire
+serialization time).  Buffers are assumed deep enough to hold a per-step
+chunk (the paper configures VC buffers to cover the credit round trip and
+uses NI-side staging, Table III and footnote 4), so backpressure is not
+modeled; contention appears as FIFO queueing delay at each channel.
+
+Messages carry explicit dependency edges (receive-before-send, produced by
+:mod:`repro.ni.injector` from the schedule tables) and an optional earliest
+injection time (the lockstep gate of §IV-A).  Events are processed in
+global time order so FIFO arbitration between competing messages matches
+their actual readiness order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.base import LinkKey, Topology
+from .flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
+
+
+@dataclass
+class Message:
+    """One transfer to simulate.
+
+    ``deps`` are indices (into the message list) that must be *delivered*
+    before this message may inject; ``not_before`` is an absolute earliest
+    injection time (lockstep gate).
+    """
+
+    src: int
+    dst: int
+    payload_bytes: float
+    route: Sequence[LinkKey]
+    deps: Sequence[int] = ()
+    not_before: float = 0.0
+    #: Extra latency between a dependency's delivery and this message
+    #: becoming ready — models software scheduling/synchronization cost when
+    #: the co-designed NI hardware (which makes this ~0) is absent (§VII-B).
+    receive_overhead: float = 0.0
+    tag: object = None
+
+
+@dataclass
+class MessageTiming:
+    ready: float = 0.0
+    inject: float = 0.0
+    deliver: float = 0.0
+    #: Delivery time the message would see on an idle network (ready +
+    #: per-hop latencies + bottleneck serialization).
+    ideal_deliver: float = 0.0
+
+    @property
+    def queue_delay(self) -> float:
+        """Total time lost to contention anywhere along the path."""
+        return self.deliver - self.ideal_deliver
+
+
+@dataclass
+class SimulationResult:
+    finish_time: float
+    timings: List[MessageTiming]
+    link_busy: Dict[LinkKey, float]
+    total_wire_bytes: float
+
+    def max_queue_delay(self) -> float:
+        return max((t.queue_delay for t in self.timings), default=0.0)
+
+    def link_utilization(self, topology: Topology) -> Dict[LinkKey, float]:
+        """Busy fraction per link over the whole run (per unit channel)."""
+        if self.finish_time <= 0:
+            return {key: 0.0 for key in self.link_busy}
+        return {
+            key: busy / (self.finish_time * topology.link(*key).capacity)
+            for key, busy in self.link_busy.items()
+        }
+
+    def mean_link_utilization(self, topology: Topology) -> float:
+        """Mean utilization over *all* links of the topology (idle included)."""
+        total_capacity_time = self.finish_time * topology.total_link_capacity()
+        if total_capacity_time <= 0:
+            return 0.0
+        return sum(self.link_busy.values()) / total_capacity_time
+
+
+class NetworkSimulator:
+    """Plays messages over a topology under a flow-control model."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
+    ) -> None:
+        self.topology = topology
+        self.flow_control = flow_control
+
+    def run(self, messages: List[Message]) -> SimulationResult:
+        topo = self.topology
+        fc = self.flow_control
+
+        # Per-link channel availability times.
+        channels: Dict[LinkKey, List[float]] = {}
+
+        def channel_pool(key: LinkKey) -> List[float]:
+            pool = channels.get(key)
+            if pool is None:
+                pool = [0.0] * topo.link(*key).capacity
+                channels[key] = pool
+            return pool
+
+        timings = [MessageTiming() for _ in messages]
+        link_busy: Dict[LinkKey, float] = {}
+        total_wire = 0.0
+
+        # Dependency bookkeeping.
+        remaining = [0] * len(messages)
+        dependents: Dict[int, List[int]] = {}
+        for idx, msg in enumerate(messages):
+            remaining[idx] = len(msg.deps)
+            for dep in msg.deps:
+                dependents.setdefault(dep, []).append(idx)
+        ready_time = [msg.not_before for msg in messages]
+
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int]] = []
+        for idx, msg in enumerate(messages):
+            if remaining[idx] == 0:
+                heapq.heappush(heap, (ready_time[idx], next(counter), idx))
+
+        finish = 0.0
+        processed = 0
+        while heap:
+            ready, _seq, idx = heapq.heappop(heap)
+            msg = messages[idx]
+            timing = timings[idx]
+            timing.ready = ready
+
+            wire = fc.wire_bytes(msg.payload_bytes)
+            total_wire += wire * max(1, len(msg.route))
+            head = ready
+            inject = None
+            for key in msg.route:
+                spec = topo.link(*key)
+                pool = channel_pool(key)
+                ch = min(range(len(pool)), key=pool.__getitem__)
+                ser = wire / spec.bandwidth
+                grant = max(head, pool[ch])
+                pool[ch] = grant + ser
+                link_busy[key] = link_busy.get(key, 0.0) + ser
+                if inject is None:
+                    inject = grant
+                head = grant + spec.latency
+            if not msg.route:  # zero-hop (src == dst) — degenerate, instant
+                inject = ready
+                deliver = ready
+                ideal = ready
+            else:
+                last = msg.route[-1]
+                deliver = head + wire / topo.link(*last).bandwidth
+                ideal = ready + sum(
+                    topo.link(*key).latency for key in msg.route
+                ) + max(wire / topo.link(*key).bandwidth for key in msg.route)
+            timing.inject = inject
+            timing.deliver = deliver
+            timing.ideal_deliver = ideal
+            finish = max(finish, deliver)
+            processed += 1
+
+            for dep_idx in dependents.get(idx, ()):  # wake dependents
+                wake = deliver + messages[dep_idx].receive_overhead
+                ready_time[dep_idx] = max(ready_time[dep_idx], wake)
+                remaining[dep_idx] -= 1
+                if remaining[dep_idx] == 0:
+                    heapq.heappush(heap, (ready_time[dep_idx], next(counter), dep_idx))
+
+        if processed != len(messages):
+            stuck = [i for i in range(len(messages)) if remaining[i] > 0]
+            raise RuntimeError(
+                "dependency deadlock: %d messages never became ready (first: %s)"
+                % (len(stuck), stuck[:5])
+            )
+        return SimulationResult(
+            finish_time=finish,
+            timings=timings,
+            link_busy=link_busy,
+            total_wire_bytes=total_wire,
+        )

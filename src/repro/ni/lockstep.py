@@ -1,0 +1,50 @@
+"""Lockstep time-step estimation (§IV-A, footnote 4).
+
+The co-designed NI keeps concurrent trees aligned without global
+synchronization: each node advances its time-step counter after an
+*estimated* step duration — the serialization latency of the per-step data
+chunk under the active flow control.  The estimate needs no message
+exchange because the all-reduce communication pattern is static.
+
+``step_gates`` returns the earliest injection time for every schedule step:
+``gate[1] = 0`` and ``gate[s+1] = gate[s] + est[s]`` where ``est[s]`` is the
+largest per-op serialization time in step ``s`` (steps where a node has no
+work are covered by NOP entries of the same estimated duration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..collectives.schedule import Schedule
+from ..network.flowcontrol import FlowControl
+
+
+def step_estimates(
+    schedule: Schedule, data_bytes: float, flow_control: FlowControl
+) -> Dict[int, float]:
+    """Estimated duration of each step (serialization of its largest chunk)."""
+    est: Dict[int, float] = {}
+    for op in schedule.ops:
+        route = schedule.route_of(op)
+        if not route:
+            continue
+        bandwidth = min(schedule.topology.link(*key).bandwidth for key in route)
+        payload = op.chunk.bytes_of(data_bytes)
+        ser = flow_control.serialization_time(payload, bandwidth)
+        if ser > est.get(op.step, 0.0):
+            est[op.step] = ser
+    return est
+
+
+def step_gates(
+    schedule: Schedule, data_bytes: float, flow_control: FlowControl
+) -> Dict[int, float]:
+    """Earliest lockstep injection time per step."""
+    est = step_estimates(schedule, data_bytes, flow_control)
+    gates: Dict[int, float] = {}
+    clock = 0.0
+    for step in range(1, schedule.num_steps + 1):
+        gates[step] = clock
+        clock += est.get(step, 0.0)
+    return gates

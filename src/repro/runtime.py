@@ -1,0 +1,109 @@
+"""High-level collective runtime: an NCCL-style facade over the library.
+
+A :class:`Communicator` is created once per (topology, algorithm) — the
+schedule is computed a single time and reused across calls, exactly the
+paper's deployment model ("the algorithm only needs to run once and can be
+used for any DNN workloads", §III-C1).  ``all_reduce`` then both *computes*
+the reduction on real numpy data (following the schedule op by op, so the
+numerics reflect the actual reduction order) and *predicts* its latency on
+the modeled hardware via the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .collectives import build_schedule
+from .collectives.schedule import OpKind, Schedule
+from .network.flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
+from .ni.injector import simulate_allreduce
+from .topology.base import Topology
+
+
+@dataclass
+class CollectiveTiming:
+    """Predicted hardware timing for one collective call."""
+
+    time: float
+    bandwidth: float
+    algorithm: str
+    data_bytes: int
+
+
+class Communicator:
+    """A reusable all-reduce context bound to one topology and algorithm."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: str = "multitree",
+        flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
+        lockstep: bool = True,
+        **builder_kwargs,
+    ) -> None:
+        self.topology = topology
+        self.flow_control = flow_control
+        self.lockstep = lockstep
+        self.schedule: Schedule = build_schedule(algorithm, topology, **builder_kwargs)
+        self._time_cache: dict = {}
+
+    @property
+    def size(self) -> int:
+        return self.topology.num_nodes
+
+    # -- data path -----------------------------------------------------------------
+
+    def all_reduce(
+        self, per_node_data: np.ndarray
+    ) -> Tuple[np.ndarray, CollectiveTiming]:
+        """Reduce ``per_node_data`` (shape ``(n, length)``) across all nodes.
+
+        Returns the per-node results after the schedule runs (every row
+        holds the global sum; floating-point rows may differ by reduction
+        order, as on real hardware) and the predicted timing.
+        """
+        data = np.array(per_node_data, copy=True)
+        if data.ndim != 2 or data.shape[0] != self.size:
+            raise ValueError(
+                "expected shape (%d, length), got %s" % (self.size, data.shape)
+            )
+        length = data.shape[1]
+        if length < 1:
+            raise ValueError("nothing to reduce")
+
+        for _step, ops in self.schedule.steps():
+            snapshot = data.copy()
+            for op in ops:
+                lo = int(op.chunk.lo * length)
+                hi = int(op.chunk.hi * length)
+                if lo >= hi:
+                    continue  # chunk narrower than one element at this length
+                if op.kind is OpKind.REDUCE:
+                    data[op.dst, lo:hi] += snapshot[op.src, lo:hi]
+                else:
+                    data[op.dst, lo:hi] = snapshot[op.src, lo:hi]
+        timing = self.predict(length * data.dtype.itemsize)
+        return data, timing
+
+    # -- timing path ----------------------------------------------------------------
+
+    def predict(self, data_bytes: int) -> CollectiveTiming:
+        """Predicted latency/bandwidth for an all-reduce of ``data_bytes``."""
+        if data_bytes <= 0:
+            raise ValueError("data_bytes must be positive")
+        cached = self._time_cache.get(data_bytes)
+        if cached is None:
+            result = simulate_allreduce(
+                self.schedule, data_bytes, self.flow_control, self.lockstep
+            )
+            cached = CollectiveTiming(
+                time=result.time,
+                bandwidth=result.bandwidth,
+                algorithm=self.schedule.algorithm,
+                data_bytes=data_bytes,
+            )
+            self._time_cache[data_bytes] = cached
+        return cached

@@ -1,0 +1,47 @@
+"""Interconnect topologies (direct and switch-based) for all-reduce studies."""
+
+from .base import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    Allocation,
+    AllocationGraph,
+    DirectAllocationGraph,
+    IndirectAllocationGraph,
+    LinkKey,
+    LinkSpec,
+    Topology,
+)
+from .bigraph import BiGraph
+from .fattree import FatTree
+from .graph import GraphTopology, degrade
+from .grid import Grid2D, Mesh2D, Torus2D
+from .ring1d import Ring1D
+from .rings import max_segment_hops, ring_order, ring_successor
+from .subgraph import InducedSubgraph, lift_schedule
+from .torus3d import Torus3D
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_LATENCY",
+    "Allocation",
+    "AllocationGraph",
+    "DirectAllocationGraph",
+    "IndirectAllocationGraph",
+    "LinkKey",
+    "LinkSpec",
+    "Topology",
+    "BiGraph",
+    "FatTree",
+    "Ring1D",
+    "Torus3D",
+    "GraphTopology",
+    "Grid2D",
+    "InducedSubgraph",
+    "Mesh2D",
+    "Torus2D",
+    "degrade",
+    "lift_schedule",
+    "max_segment_hops",
+    "ring_order",
+    "ring_successor",
+]

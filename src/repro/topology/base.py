@@ -1,0 +1,317 @@
+"""Core topology abstractions.
+
+A topology is a directed multigraph over *vertices*.  Vertices are small
+integers; compute endpoints (accelerator nodes) occupy ids ``0..num_nodes-1``
+and switches (for indirect networks) occupy ids ``num_nodes..``.  Every
+physical channel is a :class:`LinkSpec` keyed by the ``(u, v)`` vertex pair;
+``capacity`` models parallel unit links (a multigraph edge), which the paper
+uses to represent heterogeneous/wide links (§VII-B).
+
+Two views of a topology are needed by the rest of the system:
+
+* a *routing* view used by the network simulator to expand a node-to-node
+  message into the sequence of links it traverses, and
+* an *allocation* view used by the MultiTree construction (Algorithm 1),
+  which hands out link capacity one unit at a time and supports the
+  indirect-network extension of §III-C3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default link parameters from Table III of the paper.
+DEFAULT_BANDWIDTH = 16e9  # bytes per second
+DEFAULT_LATENCY = 150e-9  # seconds
+
+LinkKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A directed physical channel between two vertices.
+
+    ``capacity`` is the number of parallel unit links aggregated under this
+    key; the simulator treats them as independently grantable channels and
+    the MultiTree allocator consumes them one unit at a time.
+    """
+
+    src: int
+    dst: int
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+    capacity: int = 1
+
+    @property
+    def key(self) -> LinkKey:
+        return (self.src, self.dst)
+
+
+class Topology:
+    """Base class for all interconnect topologies.
+
+    Subclasses populate ``_links`` and implement :meth:`route`.  Direct
+    networks (Torus, Mesh) have one router per node and no separate switch
+    vertices; indirect networks (Fat-Tree, BiGraph) add switch vertices and
+    must override :meth:`is_switch` bookkeeping via ``num_switches``.
+    """
+
+    def __init__(self, num_nodes: int, name: str) -> None:
+        if num_nodes < 2:
+            raise ValueError("a network needs at least 2 nodes, got %d" % num_nodes)
+        self.num_nodes = num_nodes
+        self.name = name
+        self._links: Dict[LinkKey, LinkSpec] = {}
+        self._neighbors: Dict[int, List[int]] = {}
+
+    # -- construction helpers -------------------------------------------------
+
+    def _add_link(
+        self,
+        src: int,
+        dst: int,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        capacity: int = 1,
+    ) -> None:
+        if src == dst:
+            raise ValueError("self-link at vertex %d" % src)
+        key = (src, dst)
+        if key in self._links:
+            raise ValueError("duplicate link %s" % (key,))
+        self._links[key] = LinkSpec(src, dst, bandwidth, latency, capacity)
+        self._neighbors.setdefault(src, []).append(dst)
+
+    def _add_bidirectional(
+        self,
+        u: int,
+        v: int,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        capacity: int = 1,
+    ) -> None:
+        self._add_link(u, v, bandwidth, latency, capacity)
+        self._add_link(v, u, bandwidth, latency, capacity)
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def num_switches(self) -> int:
+        return 0
+
+    @property
+    def num_vertices(self) -> int:
+        return self.num_nodes + self.num_switches
+
+    @property
+    def nodes(self) -> range:
+        """Compute endpoints."""
+        return range(self.num_nodes)
+
+    @property
+    def links(self) -> Dict[LinkKey, LinkSpec]:
+        return dict(self._links)
+
+    def link(self, src: int, dst: int) -> LinkSpec:
+        return self._links[(src, dst)]
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._links
+
+    def is_switch(self, vertex: int) -> bool:
+        return vertex >= self.num_nodes
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Outgoing neighbors in construction order."""
+        return list(self._neighbors.get(vertex, []))
+
+    def node_neighbors(self, node: int) -> List[int]:
+        """Adjacent compute nodes (through at most the attached switch)."""
+        result = []
+        for nxt in self.neighbors(node):
+            if self.is_switch(nxt):
+                result.extend(n for n in self.neighbors(nxt) if not self.is_switch(n) and n != node)
+            else:
+                result.append(nxt)
+        return result
+
+    def total_link_capacity(self) -> int:
+        """Total number of directed unit links (multigraph edges)."""
+        return sum(spec.capacity for spec in self._links.values())
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, src: int, dst: int) -> List[LinkKey]:
+        """Sequence of link keys a message takes from node ``src`` to ``dst``.
+
+        Subclasses implement topology-specific deterministic routing
+        (dimension-order for grids, up-down for trees).
+        """
+        raise NotImplementedError
+
+    def route_latency(self, src: int, dst: int) -> float:
+        """Sum of propagation latencies along the route (no serialization)."""
+        return sum(self._links[key].latency for key in self.route(src, dst))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst))
+
+    # -- MultiTree allocation view ----------------------------------------------
+
+    def allocation_graph(self) -> "AllocationGraph":
+        """A fresh capacity snapshot used for one MultiTree time step."""
+        raise NotImplementedError
+
+    def neighbor_preference(self, vertex: int) -> List[int]:
+        """Neighbor visiting order for MultiTree child selection.
+
+        Grids override this to prefer the Y dimension before X (§III-C1);
+        the default is construction order.
+        """
+        return self.neighbors(vertex)
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(nodes=%d, switches=%d, links=%d)" % (
+            self.name,
+            self.num_nodes,
+            self.num_switches,
+            len(self._links),
+        )
+
+
+@dataclass
+class Allocation:
+    """The result of connecting a child node to a parent during tree build."""
+
+    parent: int
+    child: int
+    route: List[LinkKey] = field(default_factory=list)
+
+
+class AllocationGraph:
+    """Remaining link capacity during one MultiTree time step.
+
+    Algorithm 1 copies the full topology graph at the start of each time
+    step and removes edges as they are allocated to trees.  ``find_child``
+    implements line 10 (direct networks) or the BFS extension of §III-C3
+    (indirect networks), and *commits* the consumed capacity.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._capacity: Dict[LinkKey, int] = {
+            key: spec.capacity for key, spec in topology.links.items()
+        }
+
+    def remaining(self, key: LinkKey) -> int:
+        return self._capacity.get(key, 0)
+
+    def total_remaining(self) -> int:
+        return sum(self._capacity.values())
+
+    def _consume(self, key: LinkKey) -> None:
+        left = self._capacity.get(key, 0)
+        if left <= 0:
+            raise RuntimeError("link %s has no remaining capacity" % (key,))
+        self._capacity[key] = left - 1
+
+    def find_child(
+        self,
+        parent: int,
+        eligible: Callable[[int], bool],
+        max_route_len: Optional[int] = None,
+    ) -> Optional[Allocation]:
+        """Find and connect an eligible child node reachable from ``parent``.
+
+        ``max_route_len`` optionally bounds the number of links in the
+        allocated route, letting callers prefer short connections (same
+        switch, then one inter-switch hop) before long ones.  Returns
+        ``None`` when no capacity-respecting connection exists.  On success
+        the traversed capacity has been consumed.
+        """
+        raise NotImplementedError
+
+
+class DirectAllocationGraph(AllocationGraph):
+    """Allocator for direct networks: children are physical neighbors."""
+
+    def find_child(
+        self,
+        parent: int,
+        eligible: Callable[[int], bool],
+        max_route_len: Optional[int] = None,
+    ) -> Optional[Allocation]:
+        if max_route_len is not None and max_route_len < 1:
+            return None
+        for child in self.topology.neighbor_preference(parent):
+            key = (parent, child)
+            if eligible(child) and self.remaining(key) > 0:
+                self._consume(key)
+                return Allocation(parent, child, [key])
+        return None
+
+
+class IndirectAllocationGraph(AllocationGraph):
+    """Allocator implementing the switch-based extension of §III-C3.
+
+    The search runs breadth-first over switches starting from the parent's
+    attached switch.  At each switch it first tries to eject to an eligible
+    node attached there (switch-to-node capacity), then expands to neighbor
+    switches through remaining switch-to-switch capacity.  All capacity on
+    the successful path — node-to-switch, the traversed switch-to-switch
+    links, and the final switch-to-node link — is consumed.
+    """
+
+    def find_child(
+        self,
+        parent: int,
+        eligible: Callable[[int], bool],
+        max_route_len: Optional[int] = None,
+    ) -> Optional[Allocation]:
+        topo = self.topology
+        attach_keys = [
+            (parent, v) for v in topo.neighbors(parent) if topo.is_switch(v)
+        ]
+        for first_key in attach_keys:
+            if self.remaining(first_key) <= 0:
+                continue
+            start_switch = first_key[1]
+            # BFS over the switch graph with per-path capacity feasibility.
+            frontier: List[Tuple[int, List[LinkKey]]] = [(start_switch, [first_key])]
+            visited = {start_switch}
+            while frontier:
+                next_frontier: List[Tuple[int, List[LinkKey]]] = []
+                for switch, path in frontier:
+                    if max_route_len is not None and len(path) + 1 > max_route_len:
+                        continue
+                    child = self._eject(switch, path, eligible)
+                    if child is not None:
+                        route = path + [(switch, child)]
+                        for key in route:
+                            self._consume(key)
+                        return Allocation(parent, child, route)
+                    for nxt in topo.neighbors(switch):
+                        if not topo.is_switch(nxt) or nxt in visited:
+                            continue
+                        key = (switch, nxt)
+                        if self.remaining(key) - path.count(key) > 0:
+                            visited.add(nxt)
+                            next_frontier.append((nxt, path + [key]))
+                frontier = next_frontier
+        return None
+
+    def _eject(
+        self, switch: int, path: List[LinkKey], eligible: Callable[[int], bool]
+    ) -> Optional[int]:
+        topo = self.topology
+        for child in topo.neighbors(switch):
+            if topo.is_switch(child):
+                continue
+            if not eligible(child):
+                continue
+            if self.remaining((switch, child)) > 0:
+                return child
+        return None

@@ -1,0 +1,144 @@
+"""Generic direct-network topologies from arbitrary adjacency.
+
+MultiTree claims applicability to *various* topologies, including irregular
+ones (§III-C1 discusses asymmetric/irregular networks explicitly).  This
+module provides:
+
+* :class:`GraphTopology` — any connected undirected graph as a direct
+  network with BFS shortest-path routing, so every schedule builder runs on
+  it unmodified;
+* :meth:`GraphTopology.random_regular` — random d-regular graphs (via
+  networkx) for property-testing topology generality;
+* :func:`degrade` — a copy of a direct network with failed links removed,
+  modeling the paper's dynamic/shared-system scenario where schedules are
+  recomputed "every time a new set of nodes is allocated" (§III-C1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .base import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    DirectAllocationGraph,
+    LinkKey,
+    Topology,
+)
+
+
+class GraphTopology(Topology):
+    """A direct network defined by an explicit undirected edge list."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        name: str = "graph",
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+    ) -> None:
+        super().__init__(num_nodes, name)
+        seen = set()
+        for (u, v) in edges:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError("edge (%d, %d) outside node range" % (u, v))
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                continue
+            seen.add(key)
+            self._add_bidirectional(u, v, bandwidth, latency)
+        self._check_connected()
+        self._route_cache: Dict[LinkKey, List[LinkKey]] = {}
+
+    @classmethod
+    def random_regular(
+        cls,
+        num_nodes: int,
+        degree: int,
+        seed: int = 0,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+    ) -> "GraphTopology":
+        """A connected random d-regular graph (retries seeds until connected)."""
+        import networkx as nx
+
+        attempt = seed
+        while True:
+            graph = nx.random_regular_graph(degree, num_nodes, seed=attempt)
+            if nx.is_connected(graph):
+                break
+            attempt += 1
+        return cls(
+            num_nodes,
+            list(graph.edges()),
+            name="random-%dn-d%d" % (num_nodes, degree),
+            bandwidth=bandwidth,
+            latency=latency,
+        )
+
+    def _check_connected(self) -> None:
+        seen = {0}
+        frontier = deque([0])
+        while frontier:
+            cur = frontier.popleft()
+            for nxt in self.neighbors(cur):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        if len(seen) != self.num_nodes:
+            raise ValueError(
+                "graph is not connected (%d of %d reachable)"
+                % (len(seen), self.num_nodes)
+            )
+
+    def route(self, src: int, dst: int) -> List[LinkKey]:
+        if src == dst:
+            return []
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return list(cached)
+        prev: Dict[int, int] = {src: src}
+        frontier = deque([src])
+        while frontier and dst not in prev:
+            cur = frontier.popleft()
+            for nxt in self.neighbors(cur):
+                if nxt not in prev:
+                    prev[nxt] = cur
+                    frontier.append(nxt)
+        path: List[LinkKey] = []
+        cur = dst
+        while cur != src:
+            path.append((prev[cur], cur))
+            cur = prev[cur]
+        path.reverse()
+        self._route_cache[(src, dst)] = list(path)
+        return path
+
+    def allocation_graph(self) -> DirectAllocationGraph:
+        return DirectAllocationGraph(self)
+
+
+def degrade(
+    topology: Topology,
+    failed_links: Sequence[Tuple[int, int]],
+    name: Optional[str] = None,
+) -> GraphTopology:
+    """A copy of a direct network with the given undirected links failed.
+
+    Raises if the failures disconnect the network (MultiTree requires a
+    connected topology to rebuild its schedules).
+    """
+    if topology.num_switches:
+        raise ValueError("degrade supports direct networks only")
+    failed = {(min(u, v), max(u, v)) for (u, v) in failed_links}
+    edges = []
+    for (u, v) in topology.links:
+        if u < v and (u, v) not in failed:
+            edges.append((u, v))
+    return GraphTopology(
+        topology.num_nodes,
+        edges,
+        name=name or (topology.name + "-degraded"),
+    )

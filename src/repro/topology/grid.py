@@ -1,0 +1,217 @@
+"""Shared machinery for 2D grid topologies (Torus and Mesh).
+
+Nodes are laid out row-major: node ``id = y * width + x``.  Routers are
+integrated with nodes (direct network, like Google Cloud TPU pods per
+Table III), so vertices are exactly the node ids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .base import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    DirectAllocationGraph,
+    LinkKey,
+    Topology,
+)
+
+
+class Grid2D(Topology):
+    """A ``width x height`` grid, optionally with wraparound links (torus)."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        wrap: bool,
+        name: str,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        channels: int = 1,
+    ) -> None:
+        """``channels`` > 1 models wider links as a multigraph (§VII-B):
+        each neighbor pair gets that many parallel unit links, which the
+        MultiTree allocator consumes independently and the simulator grants
+        as independent channels."""
+        if width < 2 or height < 2:
+            raise ValueError("grid dimensions must be >= 2, got %dx%d" % (width, height))
+        if channels < 1:
+            raise ValueError("channels must be >= 1, got %d" % channels)
+        super().__init__(width * height, name)
+        self.width = width
+        self.height = height
+        self.wrap = wrap
+        self.channels = channels
+        self._build_links(bandwidth, latency)
+
+    # -- coordinates -----------------------------------------------------------
+
+    def coord(self, node: int) -> Tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        return (y % self.height) * self.width + (x % self.width)
+
+    def row_members(self, y: int) -> List[int]:
+        return [self.node_at(x, y) for x in range(self.width)]
+
+    def col_members(self, x: int) -> List[int]:
+        return [self.node_at(x, y) for y in range(self.height)]
+
+    # -- construction ----------------------------------------------------------
+
+    def _grid_neighbors(self, node: int) -> List[int]:
+        """Neighbors in Y-before-X preference order (§III-C1), duplicates kept.
+
+        In a width-2 (or height-2) torus the +1 and -1 wraps land on the same
+        neighbor; the duplicate becomes extra link capacity.
+        """
+        x, y = self.coord(node)
+        candidates = []
+        for dy in (1, -1):
+            if self.wrap or 0 <= y + dy < self.height:
+                candidates.append(self.node_at(x, y + dy))
+        for dx in (1, -1):
+            if self.wrap or 0 <= x + dx < self.width:
+                candidates.append(self.node_at(x + dx, y))
+        return [c for c in candidates if c != node]
+
+    def _build_links(self, bandwidth: float, latency: float) -> None:
+        for node in self.nodes:
+            multiplicity: dict = {}
+            order: List[int] = []
+            for nbr in self._grid_neighbors(node):
+                if nbr not in multiplicity:
+                    order.append(nbr)
+                multiplicity[nbr] = multiplicity.get(nbr, 0) + 1
+            for nbr in order:
+                self._add_link(
+                    node, nbr, bandwidth, latency,
+                    capacity=multiplicity[nbr] * self.channels,
+                )
+
+    # -- routing (dimension order: X then Y) ------------------------------------
+
+    def _step_toward(self, cur: int, dst: int, axis: str) -> Optional[int]:
+        cx, cy = self.coord(cur)
+        dx, dy = self.coord(dst)
+        if axis == "x":
+            cur_v, dst_v, size = cx, dx, self.width
+        else:
+            cur_v, dst_v, size = cy, dy, self.height
+        if cur_v == dst_v:
+            return None
+        if self.wrap:
+            forward = (dst_v - cur_v) % size
+            backward = (cur_v - dst_v) % size
+            delta = 1 if forward <= backward else -1
+        else:
+            delta = 1 if dst_v > cur_v else -1
+        if axis == "x":
+            return self.node_at(cx + delta, cy)
+        return self.node_at(cx, cy + delta)
+
+    def route(self, src: int, dst: int) -> List[LinkKey]:
+        if src == dst:
+            return []
+        path: List[LinkKey] = []
+        cur = src
+        for axis in ("x", "y"):
+            while True:
+                nxt = self._step_toward(cur, dst, axis)
+                if nxt is None:
+                    break
+                path.append((cur, nxt))
+                cur = nxt
+        return path
+
+    # -- MultiTree hooks ---------------------------------------------------------
+
+    def allocation_graph(self) -> DirectAllocationGraph:
+        return DirectAllocationGraph(self)
+
+    def neighbor_preference(self, vertex: int) -> List[int]:
+        # _grid_neighbors already lists Y-dimension neighbors before X.
+        seen = set()
+        ordered = []
+        for nbr in self._grid_neighbors(vertex):
+            if nbr not in seen:
+                seen.add(nbr)
+                ordered.append(nbr)
+        return ordered
+
+    # -- ring embedding -----------------------------------------------------------
+
+    def hamiltonian_ring(self) -> List[int]:
+        """A Hamiltonian cycle over the grid using only physical neighbor hops.
+
+        Uses the classic reserved-column construction: snake over columns
+        ``1..width-1`` row by row, then return along column 0.  Requires an
+        even number of rows (or columns, in which case the construction is
+        transposed).  For odd-by-odd grids no Hamiltonian cycle exists in a
+        mesh; callers fall back to a logical (multi-hop) ring.
+        """
+        if self.height % 2 == 0:
+            return self._snake_ring(transposed=False)
+        if self.width % 2 == 0:
+            return self._snake_ring(transposed=True)
+        raise ValueError(
+            "no Hamiltonian cycle in an odd-by-odd %dx%d grid" % (self.width, self.height)
+        )
+
+    def _snake_ring(self, transposed: bool) -> List[int]:
+        if transposed:
+            rows, cols = self.width, self.height
+
+            def at(r: int, c: int) -> int:
+                return self.node_at(r, c)
+
+        else:
+            rows, cols = self.height, self.width
+
+            def at(r: int, c: int) -> int:
+                return self.node_at(c, r)
+
+        order: List[int] = []
+        for r in range(rows):
+            span = range(1, cols) if r % 2 == 0 else range(cols - 1, 0, -1)
+            order.extend(at(r, c) for c in span)
+        # Return path up the reserved column 0.
+        order.extend(at(r, 0) for r in range(rows - 1, -1, -1))
+        return order
+
+
+class Torus2D(Grid2D):
+    """A ``width x height`` 2D torus (wraparound links in both dimensions)."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        channels: int = 1,
+    ) -> None:
+        super().__init__(
+            width, height, wrap=True, name="torus-%dx%d" % (width, height),
+            bandwidth=bandwidth, latency=latency, channels=channels,
+        )
+
+
+class Mesh2D(Grid2D):
+    """A ``width x height`` 2D mesh (no wraparound links)."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        channels: int = 1,
+    ) -> None:
+        super().__init__(
+            width, height, wrap=False, name="mesh-%dx%d" % (width, height),
+            bandwidth=bandwidth, latency=latency, channels=channels,
+        )

@@ -1,0 +1,55 @@
+"""1D bidirectional ring topology.
+
+The degenerate direct network: every node connects to its two neighbors on
+a cycle.  Ring all-reduce is natively contention-free here, and MultiTree's
+trees collapse toward unary chains — a useful boundary case for the
+"rings are unary spanning trees" observation of §III-B.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    DirectAllocationGraph,
+    LinkKey,
+    Topology,
+)
+
+
+class Ring1D(Topology):
+    def __init__(
+        self,
+        num_nodes: int,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+    ) -> None:
+        if num_nodes < 3:
+            raise ValueError("a 1D ring needs at least 3 nodes, got %d" % num_nodes)
+        super().__init__(num_nodes, "ring1d-%d" % num_nodes)
+        for node in self.nodes:
+            self._add_link(node, (node + 1) % num_nodes, bandwidth, latency)
+            self._add_link(node, (node - 1) % num_nodes, bandwidth, latency)
+
+    def route(self, src: int, dst: int) -> List[LinkKey]:
+        if src == dst:
+            return []
+        n = self.num_nodes
+        forward = (dst - src) % n
+        backward = (src - dst) % n
+        step = 1 if forward <= backward else -1
+        path: List[LinkKey] = []
+        cur = src
+        while cur != dst:
+            nxt = (cur + step) % n
+            path.append((cur, nxt))
+            cur = nxt
+        return path
+
+    def hamiltonian_ring(self) -> List[int]:
+        return list(self.nodes)
+
+    def allocation_graph(self) -> DirectAllocationGraph:
+        return DirectAllocationGraph(self)

@@ -1,0 +1,43 @@
+"""Ring embeddings used by the ring-based all-reduce algorithms.
+
+Ring all-reduce only needs a *logical* ring, but its contention-freedom and
+bandwidth optimality depend on consecutive logical neighbors being one
+physical hop apart wherever possible (§II-C).  This module produces the best
+known embedding per topology:
+
+* grids with an even dimension get a true Hamiltonian cycle,
+* switch-based networks use node-id order, which keeps most consecutive
+  pairs on the same leaf switch and only crosses switches at group
+  boundaries (the "slowest pair" effect of §VI-A emerges from the wrap),
+* anything else falls back to node-id order (a logical ring with possibly
+  multi-hop segments).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Topology
+
+
+def ring_order(topology: Topology) -> List[int]:
+    """Nodes in ring order; element i sends to element (i+1) % n."""
+    builder = getattr(topology, "hamiltonian_ring", None)
+    if builder is not None:
+        try:
+            return builder()
+        except ValueError:
+            return list(topology.nodes)
+    return list(topology.nodes)
+
+
+def ring_successor(order: List[int]) -> dict:
+    """Map each node to its ring successor."""
+    n = len(order)
+    return {order[i]: order[(i + 1) % n] for i in range(n)}
+
+
+def max_segment_hops(topology: Topology, order: List[int]) -> int:
+    """Longest physical route between consecutive ring members."""
+    n = len(order)
+    return max(topology.hop_count(order[i], order[(i + 1) % n]) for i in range(n))

@@ -1,0 +1,135 @@
+"""Induced sub-topologies for hybrid-parallel training (§VII-B).
+
+"When the parallelism strategy and DNN workload are determined, MULTITREE
+runs for the nodes that involve all-reduce communication" — in hybrid
+data+model parallelism only a *group* of nodes all-reduces, typically a
+rectangular slice of the pod.  :class:`InducedSubgraph` presents such a
+group of a direct network as a standalone topology (nodes renumbered
+``0..k-1``, only member-to-member links kept), so every schedule builder
+works unchanged; :func:`lift_schedule` then maps the resulting schedule
+back to parent coordinates so concurrent groups can be co-simulated on the
+full network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence
+
+from ..collectives.schedule import CommOp, Schedule
+from .base import DirectAllocationGraph, LinkKey, Topology
+
+
+class InducedSubgraph(Topology):
+    """The sub-topology induced by a set of compute nodes of a direct network."""
+
+    def __init__(self, parent: Topology, members: Sequence[int]) -> None:
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate members")
+        for node in members:
+            if not (0 <= node < parent.num_nodes):
+                raise ValueError("member %d outside parent node range" % node)
+            if any(parent.is_switch(v) for v in (node,)):
+                raise ValueError("members must be compute nodes")
+        if parent.num_switches:
+            raise ValueError("induced subgraphs support direct networks only")
+        super().__init__(len(members), "%s-sub%d" % (parent.name, len(members)))
+        self.parent = parent
+        self._members = members
+        self._to_sub = {node: idx for idx, node in enumerate(members)}
+        for idx, node in enumerate(members):
+            for nbr in parent.neighbors(node):
+                if nbr in self._to_sub:
+                    spec = parent.link(node, nbr)
+                    self._add_link(
+                        idx, self._to_sub[nbr],
+                        spec.bandwidth, spec.latency, spec.capacity,
+                    )
+        self._check_connected()
+        self._route_cache: Dict[LinkKey, List[LinkKey]] = {}
+
+    # -- mapping -----------------------------------------------------------------
+
+    def parent_node(self, sub_node: int) -> int:
+        return self._members[sub_node]
+
+    def sub_node(self, parent_node: int) -> int:
+        return self._to_sub[parent_node]
+
+    def _check_connected(self) -> None:
+        seen = {0}
+        frontier = deque([0])
+        while frontier:
+            cur = frontier.popleft()
+            for nxt in self.neighbors(cur):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        if len(seen) != self.num_nodes:
+            raise ValueError(
+                "member set does not induce a connected subgraph "
+                "(%d of %d reachable)" % (len(seen), self.num_nodes)
+            )
+
+    # -- routing: BFS shortest path inside the subgraph ----------------------------
+
+    def route(self, src: int, dst: int) -> List[LinkKey]:
+        if src == dst:
+            return []
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        prev: Dict[int, int] = {src: src}
+        frontier = deque([src])
+        while frontier and dst not in prev:
+            cur = frontier.popleft()
+            for nxt in self.neighbors(cur):
+                if nxt not in prev:
+                    prev[nxt] = cur
+                    frontier.append(nxt)
+        if dst not in prev:  # pragma: no cover - connectivity is checked
+            raise ValueError("no route from %d to %d" % (src, dst))
+        path: List[LinkKey] = []
+        cur = dst
+        while cur != src:
+            path.append((prev[cur], cur))
+            cur = prev[cur]
+        path.reverse()
+        self._route_cache[key] = list(path)
+        return path
+
+    def neighbor_preference(self, vertex: int) -> List[int]:
+        parent_prefs = self.parent.neighbor_preference(self.parent_node(vertex))
+        return [self._to_sub[p] for p in parent_prefs if p in self._to_sub]
+
+    def allocation_graph(self) -> DirectAllocationGraph:
+        return DirectAllocationGraph(self)
+
+
+def lift_schedule(schedule: Schedule, subgraph: InducedSubgraph) -> Schedule:
+    """Map a schedule built on a subgraph back to parent coordinates."""
+    ops = []
+    for op in schedule.ops:
+        route = tuple(
+            (subgraph.parent_node(u), subgraph.parent_node(v))
+            for (u, v) in schedule.route_of(op)
+        )
+        ops.append(
+            CommOp(
+                kind=op.kind,
+                src=subgraph.parent_node(op.src),
+                dst=subgraph.parent_node(op.dst),
+                chunk=op.chunk,
+                step=op.step,
+                flow=op.flow,
+                route=route,
+            )
+        )
+    return Schedule(
+        topology=subgraph.parent,
+        ops=ops,
+        algorithm=schedule.algorithm + "-lifted",
+        metadata=dict(schedule.metadata),
+    )

@@ -1,0 +1,112 @@
+"""3D torus topology.
+
+Demonstrates MultiTree's topology generality beyond the paper's evaluated
+networks: six links per node, dimension-order (X, then Y, then Z) routing
+with shortest-direction wraparound, and Z-before-Y-before-X neighbor
+preference for tree construction (the natural extension of the paper's
+Y-before-X rule for 2D grids).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .base import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    DirectAllocationGraph,
+    LinkKey,
+    Topology,
+)
+
+
+class Torus3D(Topology):
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        depth: int,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+    ) -> None:
+        if min(width, height, depth) < 2:
+            raise ValueError(
+                "3D torus dimensions must be >= 2, got %dx%dx%d"
+                % (width, height, depth)
+            )
+        super().__init__(
+            width * height * depth, "torus3d-%dx%dx%d" % (width, height, depth)
+        )
+        self.width = width
+        self.height = height
+        self.depth = depth
+        for node in self.nodes:
+            multiplicity: dict = {}
+            order: List[int] = []
+            for nbr in self._wrap_neighbors(node):
+                if nbr not in multiplicity:
+                    order.append(nbr)
+                multiplicity[nbr] = multiplicity.get(nbr, 0) + 1
+            for nbr in order:
+                self._add_link(node, nbr, bandwidth, latency, capacity=multiplicity[nbr])
+
+    # -- coordinates -----------------------------------------------------------
+
+    def coord(self, node: int) -> Tuple[int, int, int]:
+        x = node % self.width
+        y = (node // self.width) % self.height
+        z = node // (self.width * self.height)
+        return x, y, z
+
+    def node_at(self, x: int, y: int, z: int) -> int:
+        return (
+            (z % self.depth) * self.width * self.height
+            + (y % self.height) * self.width
+            + (x % self.width)
+        )
+
+    def _wrap_neighbors(self, node: int) -> List[int]:
+        x, y, z = self.coord(node)
+        candidates = [
+            self.node_at(x, y, z + 1), self.node_at(x, y, z - 1),
+            self.node_at(x, y + 1, z), self.node_at(x, y - 1, z),
+            self.node_at(x + 1, y, z), self.node_at(x - 1, y, z),
+        ]
+        return [c for c in candidates if c != node]
+
+    # -- routing ---------------------------------------------------------------
+
+    def _step_toward(self, cur: int, dst: int, axis: int) -> Optional[int]:
+        cur_coord = list(self.coord(cur))
+        dst_coord = self.coord(dst)
+        size = (self.width, self.height, self.depth)[axis]
+        if cur_coord[axis] == dst_coord[axis]:
+            return None
+        forward = (dst_coord[axis] - cur_coord[axis]) % size
+        backward = (cur_coord[axis] - dst_coord[axis]) % size
+        cur_coord[axis] += 1 if forward <= backward else -1
+        return self.node_at(*cur_coord)
+
+    def route(self, src: int, dst: int) -> List[LinkKey]:
+        path: List[LinkKey] = []
+        cur = src
+        for axis in (0, 1, 2):
+            while True:
+                nxt = self._step_toward(cur, dst, axis)
+                if nxt is None:
+                    break
+                path.append((cur, nxt))
+                cur = nxt
+        return path
+
+    def allocation_graph(self) -> DirectAllocationGraph:
+        return DirectAllocationGraph(self)
+
+    def neighbor_preference(self, vertex: int) -> List[int]:
+        seen = set()
+        ordered = []
+        for nbr in self._wrap_neighbors(vertex):
+            if nbr not in seen:
+                seen.add(nbr)
+                ordered.append(nbr)
+        return ordered

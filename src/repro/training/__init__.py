@@ -1,0 +1,15 @@
+"""Distributed training iteration timing (non-overlapped and layer-wise)."""
+
+from .iteration import (
+    CalibratedAllReduce,
+    IterationBreakdown,
+    nonoverlapped_iteration,
+    overlapped_iteration,
+)
+
+__all__ = [
+    "CalibratedAllReduce",
+    "IterationBreakdown",
+    "nonoverlapped_iteration",
+    "overlapped_iteration",
+]

@@ -1,0 +1,152 @@
+"""One-iteration training time models (Fig. 11a/11b).
+
+Two execution styles from §V-B:
+
+* **Non-overlapped**: forward + backward compute, then one all-reduce of the
+  full gradient.
+* **Overlapped (layer-wise all-reduce)**: layers enqueue their gradient for
+  all-reduce as soon as their backward pass finishes (back-propagation walks
+  the model in reverse), so communication overlaps the remaining backward
+  computation (§V-B, following ASTRA-sim-style layer-wise collectives).
+
+Per-layer all-reduce latencies reuse the discrete-event simulator through
+:class:`CalibratedAllReduce` — an alpha-beta (latency + inverse-bandwidth)
+model fitted from two exact simulations of the same schedule.  For the
+contention-free lockstep schedules studied here the finish time is affine
+in the data size, so the two-point fit is essentially exact while making
+50-layer sweeps cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..collectives.schedule import Schedule
+from ..compute.models import DNNModel
+from ..compute.systolic import Accelerator
+from ..network.flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
+from ..ni.injector import simulate_allreduce
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass
+class CalibratedAllReduce:
+    """Affine all-reduce time model ``t(D) = alpha + beta * D``.
+
+    Fitted from two exact discrete-event simulations at ``lo_bytes`` and
+    ``hi_bytes``; query any size with :meth:`time`.
+    """
+
+    schedule: Schedule
+    flow_control: FlowControl = DEFAULT_FLOW_CONTROL
+    lockstep: bool = True
+    lo_bytes: float = 64 * KiB
+    hi_bytes: float = 16 * MiB
+
+    def __post_init__(self) -> None:
+        lo = simulate_allreduce(
+            self.schedule, self.lo_bytes, self.flow_control, self.lockstep
+        ).time
+        hi = simulate_allreduce(
+            self.schedule, self.hi_bytes, self.flow_control, self.lockstep
+        ).time
+        self.beta = (hi - lo) / (self.hi_bytes - self.lo_bytes)
+        self.alpha = max(lo - self.beta * self.lo_bytes, 0.0)
+
+    def time(self, data_bytes: float) -> float:
+        if data_bytes <= 0:
+            return 0.0
+        return self.alpha + self.beta * data_bytes
+
+    def bandwidth(self, data_bytes: float) -> float:
+        return data_bytes / self.time(data_bytes)
+
+
+@dataclass
+class IterationBreakdown:
+    """Training-time decomposition of one iteration (Fig. 11 bars)."""
+
+    model: str
+    algorithm: str
+    compute_time: float
+    allreduce_time: float        # total communication busy time
+    overlap_time: float          # communication hidden under compute
+    exposed_comm_time: float     # communication after compute finished
+    total_time: float
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.exposed_comm_time / self.total_time if self.total_time else 0.0
+
+
+def nonoverlapped_iteration(
+    model: DNNModel,
+    schedule: Schedule,
+    accelerator: Optional[Accelerator] = None,
+    flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
+    lockstep: bool = True,
+) -> IterationBreakdown:
+    """fwd + bwd compute followed by one whole-model all-reduce."""
+    acc = accelerator or Accelerator()
+    compute = acc.iteration_compute_time(model.layers)
+    comm = simulate_allreduce(
+        schedule, model.gradient_bytes, flow_control, lockstep
+    ).time
+    return IterationBreakdown(
+        model=model.name,
+        algorithm=schedule.algorithm,
+        compute_time=compute,
+        allreduce_time=comm,
+        overlap_time=0.0,
+        exposed_comm_time=comm,
+        total_time=compute + comm,
+    )
+
+
+def overlapped_iteration(
+    model: DNNModel,
+    schedule: Schedule,
+    accelerator: Optional[Accelerator] = None,
+    flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
+    lockstep: bool = True,
+    allreduce_model: Optional[CalibratedAllReduce] = None,
+) -> IterationBreakdown:
+    """Layer-wise all-reduce racing the backward pass (Fig. 11b).
+
+    Backward runs over layers in reverse; each weighted layer's gradient is
+    queued for all-reduce the moment its backward step completes, and the
+    network processes queued all-reduces FIFO, one at a time.
+    """
+    acc = accelerator or Accelerator()
+    cal = allreduce_model or CalibratedAllReduce(schedule, flow_control, lockstep)
+
+    forward = acc.forward_time(model.layers)
+    clock = forward
+    comm_free_at = 0.0
+    intervals: List[Tuple[float, float]] = []
+    for layer in reversed(model.layers):
+        clock += acc.layer_backward_time(layer)
+        if not layer.has_weights:
+            continue
+        start = max(clock, comm_free_at)
+        end = start + cal.time(layer.gradient_bytes)
+        intervals.append((start, end))
+        comm_free_at = end
+    compute_end = clock
+    total = max(compute_end, comm_free_at)
+    comm_busy = sum(end - start for start, end in intervals)
+    overlap = sum(
+        max(0.0, min(end, compute_end) - start) for start, end in intervals
+    )
+    return IterationBreakdown(
+        model=model.name,
+        algorithm=schedule.algorithm,
+        compute_time=compute_end,
+        allreduce_time=comm_busy,
+        overlap_time=overlap,
+        exposed_comm_time=total - compute_end,
+        total_time=total,
+    )

@@ -1,0 +1,110 @@
+"""Tests for metrics, volume accounting, and the Table I measurement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    BandwidthSweep,
+    format_bandwidth_table,
+    format_table1,
+    geomean,
+    links_used_fraction,
+    max_node_volume_fraction,
+    measure_table1,
+    optimal_volume_fraction,
+    reduction_percent,
+    speedup,
+    sweep_bandwidth,
+    volume_ratio_to_optimal,
+)
+from repro.analysis.volume import is_bandwidth_optimal
+from repro.collectives import build_schedule
+from repro.topology import Torus2D
+
+KiB = 1024
+
+
+class TestScalarMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_reduction_percent(self):
+        assert reduction_percent(10.0, 2.0) == pytest.approx(80.0)
+        assert reduction_percent(0.0, 1.0) == 0.0
+
+
+class TestVolume:
+    def test_optimal_fraction(self):
+        assert optimal_volume_fraction(16) == Fraction(30, 16)
+
+    def test_ring_exactly_optimal(self):
+        schedule = build_schedule("ring", Torus2D(4, 4))
+        assert max_node_volume_fraction(schedule) == Fraction(30, 16)
+        assert is_bandwidth_optimal(schedule)
+        assert volume_ratio_to_optimal(schedule) == pytest.approx(1.0)
+
+    def test_2dring_volume_ratio(self):
+        schedule = build_schedule("2d-ring", Torus2D(4, 4))
+        assert volume_ratio_to_optimal(schedule) == pytest.approx(8 / 5)
+
+    def test_links_used_fraction_full_for_multitree(self):
+        schedule = build_schedule("multitree", Torus2D(4, 4))
+        assert links_used_fraction(schedule) == 1.0
+
+
+class TestSweep:
+    def test_sweep_points(self):
+        schedule = build_schedule("ring", Torus2D(2, 2))
+        sweep = sweep_bandwidth(schedule, sizes=[32 * KiB, 64 * KiB])
+        assert [p.data_bytes for p in sweep.points] == [32 * KiB, 64 * KiB]
+        assert all(p.bandwidth > 0 for p in sweep.points)
+        assert sweep.bandwidth_at(32 * KiB) == sweep.points[0].bandwidth
+        with pytest.raises(KeyError):
+            sweep.bandwidth_at(999)
+
+    def test_format_table(self):
+        schedule = build_schedule("ring", Torus2D(2, 2))
+        sweep = sweep_bandwidth(schedule, sizes=[32 * KiB])
+        text = format_bandwidth_table([sweep])
+        assert "ring" in text and "32 KiB" in text
+        assert format_bandwidth_table([]) == "(empty)"
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.algorithm: row for row in measure_table1()}
+
+    def test_matches_paper_table1(self, rows):
+        assert rows["ring"].latency == "high"
+        assert rows["ring"].bandwidth == "optimal"
+        assert rows["ring"].contention == "none"
+        assert rows["ring"].general
+
+        assert rows["dbtree"].latency == "low"
+        assert rows["dbtree"].bandwidth == "optimal"
+        assert rows["dbtree"].contention == "high"
+
+        assert rows["2d-ring"].latency == "low"
+        assert rows["2d-ring"].bandwidth == "sub-optimal"
+        assert not rows["2d-ring"].general
+        assert rows["2d-ring"].topologies == ["mesh", "torus"]
+
+        assert rows["hdrm"].latency == "low"
+        assert rows["hdrm"].bandwidth == "optimal"
+        assert rows["hdrm"].topologies == ["bigraph"]
+
+        assert rows["multitree"].latency == "low"
+        assert rows["multitree"].bandwidth == "optimal"
+        assert rows["multitree"].contention == "none"
+        assert rows["multitree"].general
+
+    def test_format(self, rows):
+        text = format_table1(list(rows.values()))
+        assert "multitree" in text and "Algorithm" in text

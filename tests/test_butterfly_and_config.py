@@ -1,0 +1,82 @@
+"""Tests for the butterfly all-reduce (§VII-A) and SystemConfig presets."""
+
+import pytest
+
+from repro.collectives import build_schedule, butterfly_allreduce, verify_allreduce
+from repro.config import TABLE_III, SystemConfig
+from repro.ni import simulate_allreduce
+from repro.topology import Mesh2D, Torus2D
+
+KiB = 1024
+MiB = 1 << 20
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("topo", [Torus2D(2, 2), Torus2D(4, 4), Mesh2D(4, 4)],
+                             ids=lambda t: t.name)
+    def test_correct(self, topo):
+        verify_allreduce(butterfly_allreduce(topo))
+
+    def test_logarithmic_steps(self):
+        assert butterfly_allreduce(Torus2D(4, 4)).num_steps == 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            butterfly_allreduce(Mesh2D(3, 4))
+
+    def test_full_vector_every_step(self):
+        schedule = butterfly_allreduce(Torus2D(4, 4))
+        assert all(op.chunk.fraction == 1 for op in schedule.ops)
+
+    def test_volume_is_logn_times_data(self):
+        from repro.analysis import volume_ratio_to_optimal
+
+        schedule = butterfly_allreduce(Torus2D(4, 4))
+        # log2(16) = 4 gradients per node vs optimal 30/16.
+        assert volume_ratio_to_optimal(schedule) == pytest.approx(4 / (30 / 16))
+
+    def test_beats_ring_at_tiny_sizes(self):
+        # §VII-A: fewer steps win when latency dominates serialization.
+        topo = Torus2D(4, 4)
+        bfly = simulate_allreduce(butterfly_allreduce(topo), 2 * KiB)
+        ring = simulate_allreduce(build_schedule("ring", topo), 2 * KiB)
+        assert bfly.time < ring.time
+
+    def test_contends_and_loses_at_large_sizes(self):
+        topo = Torus2D(4, 4)
+        bfly = simulate_allreduce(butterfly_allreduce(topo), 64 * MiB)
+        ring = simulate_allreduce(build_schedule("ring", topo), 64 * MiB)
+        assert bfly.time > ring.time
+        assert bfly.max_queue_delay() > 0.05 * bfly.time
+
+    def test_registered_in_algorithms(self):
+        schedule = build_schedule("butterfly", Torus2D(2, 2))
+        assert schedule.algorithm == "butterfly"
+
+
+class TestSystemConfig:
+    def test_table3_defaults(self):
+        assert TABLE_III.mac_rows == 32
+        assert TABLE_III.num_pes == 16
+        assert TABLE_III.num_vcs == 4
+        assert TABLE_III.vc_buffer_depth_flits == 318
+        assert TABLE_III.data_packet_payload_bytes == 256
+        assert TABLE_III.link_bandwidth_bytes_per_s == 16e9
+        assert TABLE_III.link_latency_s == pytest.approx(150e-9)
+
+    def test_accelerator_factory(self):
+        acc = TABLE_III.accelerator()
+        assert acc.pe.rows == 32 and acc.num_pes == 16
+
+    def test_flow_control_factories(self):
+        assert TABLE_III.packet_flow_control().payload_bytes == 256
+        assert TABLE_III.message_flow_control().wire_flits(160) == 11
+
+    def test_flit_cycles_unity_at_table3(self):
+        # 16 B flit at 16 GB/s at a 1 GHz router = exactly 1 cycle/flit.
+        assert TABLE_III.flit_cycles == pytest.approx(1.0)
+        assert TABLE_III.link_latency_cycles == 150
+
+    def test_custom_config_scales(self):
+        fast = SystemConfig(link_bandwidth_bytes_per_s=32e9)
+        assert fast.flit_cycles == pytest.approx(0.5)

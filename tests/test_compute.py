@@ -1,0 +1,122 @@
+"""Tests for the systolic compute model and layer descriptors."""
+
+import pytest
+
+from repro.compute import (
+    Accelerator,
+    Conv2D,
+    Dense,
+    Embedding,
+    Gemm,
+    GemmShape,
+    SystolicArray,
+)
+
+
+class TestGemmShape:
+    def test_macs(self):
+        assert GemmShape(4, 5, 6).macs == 120
+
+
+class TestSystolicArray:
+    def test_single_fold_cycles(self):
+        pe = SystolicArray(rows=32, cols=32)
+        # One 32x32 output tile with K=100: 100 + fill/drain 62.
+        assert pe.gemm_cycles(GemmShape(32, 100, 32)) == 162
+
+    def test_fold_count(self):
+        pe = SystolicArray(rows=32, cols=32)
+        # 64x64 outputs => 2x2 folds.
+        assert pe.gemm_cycles(GemmShape(64, 100, 64)) == 4 * 162
+
+    def test_partial_tile_rounds_up(self):
+        pe = SystolicArray(rows=32, cols=32)
+        assert pe.gemm_cycles(GemmShape(33, 100, 1)) == 2 * 162
+
+    def test_time_uses_clock(self):
+        pe = SystolicArray(clock_hz=1e9)
+        gemm = GemmShape(32, 100, 32)
+        assert pe.gemm_time(gemm) == pytest.approx(162e-9)
+
+    def test_utilization_at_most_one(self):
+        pe = SystolicArray()
+        for gemm in (GemmShape(32, 1000, 32), GemmShape(1, 10, 1)):
+            assert 0 < pe.utilization(gemm) <= 1
+
+    def test_m1_fc_layers_underutilize(self):
+        # The effect that makes AlexNet compute-bound: M=1 GEMMs use one row.
+        pe = SystolicArray()
+        assert pe.utilization(GemmShape(1, 4096, 4096)) < 0.04
+
+
+class TestLayers:
+    def test_conv_output_dims(self):
+        conv = Conv2D("c", 227, 227, 3, 11, 11, 96, stride=4)
+        assert (conv.out_h, conv.out_w) == (55, 55)
+
+    def test_conv_params(self):
+        conv = Conv2D("c", 13, 13, 256, 3, 3, 384, padding=1)
+        assert conv.params == 3 * 3 * 256 * 384 + 384
+
+    def test_conv_forward_gemm(self):
+        conv = Conv2D("c", 13, 13, 256, 3, 3, 384, padding=1)
+        gemm = conv.forward_gemm()
+        assert (gemm.m, gemm.k, gemm.n) == (169, 2304, 384)
+
+    def test_conv_backward_has_transposed_conv(self):
+        conv = Conv2D("c", 227, 227, 3, 11, 11, 96, stride=4)
+        weight_grad, input_grad = conv.backward_gemms()
+        assert weight_grad.m == conv.forward_gemm().k
+        assert input_grad.m == 227 * 227
+        assert input_grad.k == 11 * 11 * 96
+
+    def test_strided_conv_backward_heavier_than_forward(self):
+        conv = Conv2D("c", 227, 227, 3, 11, 11, 96, stride=4)
+        pe = SystolicArray()
+        fwd = pe.gemm_cycles(conv.forward_gemm())
+        bwd = sum(pe.gemm_cycles(g) for g in conv.backward_gemms())
+        assert bwd > 2 * fwd
+
+    def test_dense_params_and_gemm(self):
+        fc = Dense("fc", 9216, 4096)
+        assert fc.params == 9216 * 4096 + 4096
+        assert fc.forward_gemm().m == 1
+
+    def test_gemm_layer_optional_weights(self):
+        attn = Gemm("scores", 64, 512, 64)
+        proj = Gemm("q", 64, 512, 512, weight_params=512 * 512)
+        assert attn.params == 0
+        assert not attn.has_weights
+        assert proj.params == 512 * 512
+
+    def test_embedding_negligible_compute_huge_params(self):
+        emb = Embedding("e", 100_000, 64, lookups=1)
+        assert emb.params == 6_400_000
+        assert emb.forward_gemm().macs == 64
+        assert len(emb.backward_gemms()) == 1
+
+    def test_gradient_bytes(self):
+        fc = Dense("fc", 10, 10, bias=False)
+        assert fc.gradient_bytes == 400
+
+
+class TestAccelerator:
+    def test_defaults_match_table3(self):
+        acc = Accelerator()
+        assert acc.pe.rows == 32 and acc.pe.cols == 32
+        assert acc.num_pes == 16
+        assert acc.pe.clock_hz == 1e9
+        assert acc.samples_per_accelerator == 16
+
+    def test_iteration_is_forward_plus_backward(self):
+        acc = Accelerator()
+        layers = [Dense("a", 128, 128), Dense("b", 128, 128)]
+        total = acc.iteration_compute_time(layers)
+        assert total == pytest.approx(
+            acc.forward_time(layers) + acc.backward_time(layers)
+        )
+
+    def test_backward_slower_than_forward(self):
+        acc = Accelerator()
+        layers = [Conv2D("c", 28, 28, 64, 3, 3, 64, padding=1)]
+        assert acc.backward_time(layers) > acc.forward_time(layers)

@@ -1,0 +1,46 @@
+"""Tests for the weight-stationary dataflow option."""
+
+import pytest
+
+from repro.compute import Accelerator, GemmShape, SystolicArray, get_model
+
+
+class TestWeightStationary:
+    def test_unknown_dataflow_rejected(self):
+        with pytest.raises(ValueError):
+            SystolicArray(dataflow="row-stationary")
+
+    def test_ws_single_fold_cycles(self):
+        pe = SystolicArray(rows=32, cols=32, dataflow="weight-stationary")
+        # K=32, N=32 -> one fold: M + weight load (32) + skew (62).
+        assert pe.gemm_cycles(GemmShape(1000, 32, 32)) == 1000 + 32 + 62
+
+    def test_ws_folds_over_k_and_n(self):
+        pe = SystolicArray(rows=32, cols=32, dataflow="weight-stationary")
+        one = pe.gemm_cycles(GemmShape(100, 32, 32))
+        four = pe.gemm_cycles(GemmShape(100, 64, 64))
+        assert four == 4 * one
+
+    def test_ws_wins_for_batched_small_k(self):
+        """Large M, small K: weights stay resident, activations stream."""
+        os_pe = SystolicArray(dataflow="output-stationary")
+        ws_pe = SystolicArray(dataflow="weight-stationary")
+        gemm = GemmShape(m=4096, k=32, n=32)
+        assert ws_pe.gemm_cycles(gemm) < os_pe.gemm_cycles(gemm)
+
+    def test_os_wins_for_m1_fc_layers(self):
+        """M=1 inference-style FCs: OS streams K once; WS pays the fold
+        overhead per weight tile."""
+        os_pe = SystolicArray(dataflow="output-stationary")
+        ws_pe = SystolicArray(dataflow="weight-stationary")
+        gemm = GemmShape(m=1, k=4096, n=4096)
+        assert os_pe.gemm_cycles(gemm) < ws_pe.gemm_cycles(gemm)
+
+    def test_accelerator_accepts_ws(self):
+        acc = Accelerator(pe=SystolicArray(dataflow="weight-stationary"))
+        model = get_model("GoogLeNet")
+        assert acc.iteration_compute_time(model.layers) > 0
+
+    def test_utilization_still_bounded(self):
+        pe = SystolicArray(dataflow="weight-stationary")
+        assert 0 < pe.utilization(GemmShape(1000, 64, 64)) <= 1

@@ -1,0 +1,103 @@
+"""Tests for the double binary tree all-reduce."""
+
+import pytest
+
+from repro.analysis.volume import volume_ratio_to_optimal
+from repro.collectives import dbtree_allreduce, double_binary_trees, verify_allreduce
+from repro.collectives.dbtree import _lsb_tree
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+
+
+class TestTreeConstruction:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 15, 16, 31, 32, 64])
+    def test_trees_span_all_ranks(self, n):
+        for tree in double_binary_trees(n):
+            assert sorted(tree.nodes()) == list(range(n))
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_binary_arity(self, n):
+        for tree in double_binary_trees(n):
+            for node, kids in tree.children.items():
+                assert len(kids) <= 2
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_complementary_leaves_for_even_n(self, n):
+        t1, t2 = double_binary_trees(n)
+        leaves1 = {r for r in t1.nodes() if not t1.children.get(r)}
+        leaves2 = {r for r in t2.nodes() if not t2.children.get(r)}
+        assert leaves1.isdisjoint(leaves2)
+        assert leaves1 | leaves2 == set(range(n))
+
+    def test_lsb_tree_odd_ranks_are_leaves(self):
+        tree = _lsb_tree(8)
+        # 1-based odd ranks = 0-based even ranks are leaves.
+        for rank0 in (0, 2, 4, 6):
+            assert not tree.children.get(rank0)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_logarithmic_height(self, n):
+        for tree in double_binary_trees(n):
+            height = tree.height_of(tree.root)
+            assert height <= n.bit_length()
+
+    def test_depth_and_height_consistency(self):
+        tree, _ = double_binary_trees(16)
+        for node in tree.nodes():
+            assert tree.depth_of(node) + tree.height_of(node) <= 2 * 16 .bit_length()
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            double_binary_trees(1)
+
+
+class TestDBTreeSchedule:
+    @pytest.mark.parametrize(
+        "topo",
+        [Torus2D(4, 4), Mesh2D(4, 4), FatTree(4, 4), BiGraph(2, 4), Torus2D(8, 8)],
+        ids=lambda t: t.name,
+    )
+    def test_correct_everywhere(self, topo):
+        verify_allreduce(dbtree_allreduce(topo))
+
+    @pytest.mark.parametrize("blocks", [1, 2, 4, 8])
+    def test_correct_for_any_block_count(self, blocks):
+        verify_allreduce(dbtree_allreduce(Torus2D(4, 4), num_blocks=blocks))
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            dbtree_allreduce(Torus2D(4, 4), num_blocks=0)
+
+    def test_even_odd_interleaving(self):
+        schedule = dbtree_allreduce(Torus2D(4, 4))
+        for op in schedule.ops:
+            if op.flow == 0:
+                assert op.step % 2 == 1
+            else:
+                assert op.step % 2 == 0
+
+    def test_each_tree_carries_half(self):
+        schedule = dbtree_allreduce(Torus2D(4, 4))
+        for op in schedule.ops:
+            if op.flow == 0:
+                assert op.chunk.hi <= 0.5
+            else:
+                assert op.chunk.lo >= 0.5
+
+    def test_asymptotically_bandwidth_optimal(self):
+        schedule = dbtree_allreduce(Torus2D(8, 8))
+        # Every rank sends at most the full gradient per phase (2D total).
+        assert volume_ratio_to_optimal(schedule) <= 64 / 63 + 1e-9
+
+    def test_contends_on_torus(self):
+        # Topology-oblivious trees map poorly onto the torus: some step
+        # schedules more transfers over one link than it can carry (§II-C).
+        schedule = dbtree_allreduce(Torus2D(4, 4))
+        assert schedule.max_step_link_overlap() > 1
+
+    def test_multi_hop_edges_on_torus(self):
+        schedule = dbtree_allreduce(Torus2D(4, 4))
+        assert any(len(schedule.route_of(op)) > 1 for op in schedule.ops)
+
+    def test_odd_node_count_correct(self):
+        # 3x5 mesh has 15 nodes; the mirrored second tree handles odd n.
+        verify_allreduce(dbtree_allreduce(Mesh2D(3, 5)))

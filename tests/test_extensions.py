@@ -1,0 +1,199 @@
+"""Tests for the extension features: new topologies, wide links, tree
+priority, software-scheduling overhead, and the energy model."""
+
+import pytest
+
+from repro.collectives import build_schedule, build_trees, multitree_allreduce, verify_allreduce
+from repro.network import EnergyModel, MessageBased, PacketBased, energy_saving_fraction
+from repro.ni import simulate_allreduce
+from repro.topology import Mesh2D, Ring1D, Torus2D, Torus3D, ring_order
+
+MiB = 1 << 20
+
+
+class TestRing1D:
+    def test_structure(self):
+        ring = Ring1D(8)
+        assert ring.num_nodes == 8
+        assert ring.total_link_capacity() == 16
+        assert len(ring.neighbors(0)) == 2
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            Ring1D(2)
+
+    def test_shortest_direction_routing(self):
+        ring = Ring1D(8)
+        assert len(ring.route(0, 1)) == 1
+        assert len(ring.route(0, 7)) == 1
+        assert len(ring.route(0, 4)) == 4
+
+    def test_ring_order_is_identity(self):
+        assert ring_order(Ring1D(6)) == list(range(6))
+
+    @pytest.mark.parametrize("n", [3, 5, 8, 13])
+    def test_all_algorithms_correct(self, n):
+        topo = Ring1D(n)
+        for alg in ("ring", "dbtree", "multitree"):
+            verify_allreduce(build_schedule(alg, topo))
+
+    def test_multitree_contention_free(self):
+        assert multitree_allreduce(Ring1D(9)).max_step_link_overlap() == 1
+
+
+class TestTorus3D:
+    def test_structure(self):
+        torus = Torus3D(4, 4, 4)
+        assert torus.num_nodes == 64
+        assert len(torus.neighbors(0)) == 6
+        assert torus.total_link_capacity() == 6 * 64
+
+    def test_coord_roundtrip(self):
+        torus = Torus3D(3, 4, 5)
+        for node in torus.nodes:
+            assert torus.node_at(*torus.coord(node)) == node
+
+    def test_dimension_order_routing_valid(self):
+        torus = Torus3D(3, 3, 3)
+        for src in torus.nodes:
+            for dst in torus.nodes:
+                cur = src
+                for (u, v) in torus.route(src, dst):
+                    assert u == cur and torus.has_link(u, v)
+                    cur = v
+                assert cur == dst
+
+    def test_route_within_diameter(self):
+        torus = Torus3D(4, 4, 4)
+        assert all(
+            len(torus.route(0, dst)) <= 6 for dst in torus.nodes
+        )
+
+    @pytest.mark.parametrize("dims", [(2, 2, 2), (2, 3, 4), (4, 4, 4)])
+    def test_multitree_correct_and_contention_free(self, dims):
+        schedule = multitree_allreduce(Torus3D(*dims))
+        verify_allreduce(schedule)
+        assert schedule.max_step_link_overlap() == 1
+
+    def test_six_links_boost_bandwidth_over_2d(self):
+        bw3d = simulate_allreduce(
+            multitree_allreduce(Torus3D(4, 4, 4)), 64 * MiB
+        ).bandwidth
+        bw2d = simulate_allreduce(
+            multitree_allreduce(Torus2D(8, 8)), 64 * MiB
+        ).bandwidth
+        assert bw3d > 1.2 * bw2d
+
+
+class TestWideLinks:
+    def test_channels_multiply_capacity(self):
+        torus = Torus2D(4, 4, channels=2)
+        assert torus.link(0, 1).capacity == 2
+        assert torus.total_link_capacity() == 2 * 64
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Torus2D(4, 4, channels=0)
+
+    def test_multitree_exploits_wider_links(self):
+        narrow = multitree_allreduce(Torus2D(4, 4))
+        wide = multitree_allreduce(Torus2D(4, 4, channels=2))
+        verify_allreduce(wide)
+        assert wide.metadata["tot_t"] < narrow.metadata["tot_t"]
+        assert wide.max_step_link_overlap() == 1
+
+    def test_wide_links_raise_simulated_bandwidth(self):
+        # Fewer construction steps over twice the channels: the gain is
+        # bounded by tree growth (tot_t can't drop below ~log of n), so
+        # 4x4 improves by tot_t_narrow/tot_t_wide (5 -> 4 steps, ~1.25x).
+        t_narrow = simulate_allreduce(
+            multitree_allreduce(Torus2D(4, 4)), 64 * MiB
+        ).bandwidth
+        t_wide = simulate_allreduce(
+            multitree_allreduce(Torus2D(4, 4, channels=2)), 64 * MiB
+        ).bandwidth
+        assert t_wide > 1.2 * t_narrow
+
+
+class TestTreePriority:
+    def test_invalid_priority_rejected(self):
+        with pytest.raises(ValueError):
+            build_trees(Torus2D(4, 4), priority="fifo")
+
+    def test_most_remaining_still_correct(self):
+        for topo in (Mesh2D(4, 4), Torus2D(4, 4)):
+            schedule = multitree_allreduce(topo, priority="most-remaining")
+            verify_allreduce(schedule)
+            assert schedule.max_step_link_overlap() == 1
+
+    def test_priority_recorded_in_metadata(self):
+        schedule = multitree_allreduce(Torus2D(2, 2), priority="most-remaining")
+        assert schedule.metadata["priority"] == "most-remaining"
+
+    def test_no_worse_on_asymmetric_mesh(self):
+        base = multitree_allreduce(Mesh2D(8, 8))
+        prio = multitree_allreduce(Mesh2D(8, 8), priority="most-remaining")
+        assert prio.metadata["tot_t"] <= base.metadata["tot_t"] + 2
+
+
+class TestSchedulingOverhead:
+    def test_overhead_slows_allreduce(self):
+        schedule = build_schedule("multitree", Torus2D(4, 4))
+        hw = simulate_allreduce(schedule, 1 * MiB).time
+        sw = simulate_allreduce(schedule, 1 * MiB, scheduling_overhead=5e-6).time
+        assert sw > hw
+
+    def test_overhead_hurts_small_messages_relatively_more(self):
+        schedule = build_schedule("multitree", Torus2D(4, 4))
+        small_ratio = (
+            simulate_allreduce(schedule, 32 * 1024, scheduling_overhead=5e-6).time
+            / simulate_allreduce(schedule, 32 * 1024).time
+        )
+        large_ratio = (
+            simulate_allreduce(schedule, 64 * MiB, scheduling_overhead=5e-6).time
+            / simulate_allreduce(schedule, 64 * MiB).time
+        )
+        assert small_ratio > large_ratio
+
+    def test_zero_overhead_identical(self):
+        schedule = build_schedule("ring", Torus2D(2, 2))
+        a = simulate_allreduce(schedule, 1 * MiB).time
+        b = simulate_allreduce(schedule, 1 * MiB, scheduling_overhead=0.0).time
+        assert a == b
+
+
+class TestEnergyModel:
+    def test_message_based_saves_energy(self):
+        schedule = build_schedule("multitree", Torus2D(4, 4))
+        saving = energy_saving_fraction(schedule, 64 * MiB)
+        assert 0.02 < saving < 0.30
+
+    def test_zero_hops_zero_energy(self):
+        model = EnergyModel()
+        assert model.message_energy_pj(1024, 0, PacketBased()) == 0.0
+
+    def test_energy_scales_with_hops(self):
+        model = EnergyModel()
+        one = model.message_energy_pj(4096, 1, PacketBased())
+        two = model.message_energy_pj(4096, 2, PacketBased())
+        assert two == pytest.approx(2 * one)
+
+    def test_packet_control_energy_grows_with_packets(self):
+        model = EnergyModel(link_pj=0, buffer_pj=0, route_arb_pj=10)
+        small = model.message_energy_pj(256, 1, PacketBased())
+        large = model.message_energy_pj(2560, 1, PacketBased())
+        assert large == pytest.approx(10 * small)
+
+    def test_message_based_control_energy_near_constant(self):
+        model = EnergyModel(link_pj=0, buffer_pj=0, route_arb_pj=10,
+                            subpacket_grant_pj=0.0)
+        small = model.message_energy_pj(256, 1, MessageBased())
+        large = model.message_energy_pj(1 << 20, 1, MessageBased())
+        assert small == large == 10.0
+
+    def test_dbtree_multi_hop_costs_more_energy(self):
+        topo = Torus2D(4, 4)
+        model = EnergyModel()
+        db = model.schedule_energy_pj(build_schedule("dbtree", topo), 16 * MiB, PacketBased())
+        mt = model.schedule_energy_pj(build_schedule("multitree", topo), 16 * MiB, PacketBased())
+        assert db > mt

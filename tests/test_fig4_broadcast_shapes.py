@@ -1,0 +1,59 @@
+"""Fig. 4: all-gather/broadcast schedule shapes of ring vs DBTree vs
+MultiTree on the 2x2 mesh used in §III-B."""
+
+from repro.collectives import build_schedule, double_binary_trees
+from repro.collectives.schedule import OpKind
+from repro.topology import Mesh2D
+
+
+def _gather_steps(schedule):
+    steps = [op.step for op in schedule.ops if op.kind is OpKind.GATHER]
+    return max(steps) - min(steps) + 1
+
+
+def test_ring_needs_one_more_gather_step_than_multitree():
+    # Fig. 4a vs Fig. 3e: ring's all-gather takes n-1 = 3 steps; MultiTree
+    # broadcasts in 2 (its trees are binary, rings are unary trees).
+    mesh = Mesh2D(2, 2)
+    ring = build_schedule("ring", mesh)
+    mt = build_schedule("multitree", mesh)
+    assert _gather_steps(ring) == 3
+    assert _gather_steps(mt) == 2
+
+
+def test_rings_are_unary_spanning_trees():
+    # §III-B: each ring chunk's gather path visits nodes one at a time.
+    mesh = Mesh2D(2, 2)
+    ring = build_schedule("ring", mesh)
+    for flow in range(4):
+        gathers = [
+            op for op in ring.ops
+            if op.kind is OpKind.GATHER and op.flow == flow
+        ]
+        # one edge per step: a chain (unary tree), not a branching tree
+        steps = sorted(op.step for op in gathers)
+        assert len(set(steps)) == len(steps)
+
+
+def test_dbtree_logical_height_matches_but_physical_height_deeper():
+    # Fig. 4b: DBTree has the same *logical* height as MultiTree on the
+    # 2x2 mesh, but at least one tree edge spans two physical hops.
+    mesh = Mesh2D(2, 2)
+    t1, t2 = double_binary_trees(4)
+    logical_heights = {t.height_of(t.root) for t in (t1, t2)}
+    assert logical_heights == {2}
+    db = build_schedule("dbtree", mesh)
+    hop_counts = [len(db.route_of(op)) for op in db.ops]
+    assert max(hop_counts) == 2  # the 1<->2 diagonal of Fig. 4b
+    mt = build_schedule("multitree", mesh)
+    assert all(len(mt.route_of(op)) == 1 for op in mt.ops)
+
+
+def test_dbtree_even_odd_step_coloring():
+    # Fig. 4b's black/red edges: a node never sends in both trees in the
+    # same step.
+    mesh = Mesh2D(2, 2)
+    db = build_schedule("dbtree", mesh)
+    for step in range(1, db.num_steps + 1):
+        flows = {op.flow for op in db.ops_at_step(step)}
+        assert len(flows) <= 1

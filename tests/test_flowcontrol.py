@@ -1,0 +1,68 @@
+"""Tests for flow-control wire-cost models (Fig. 2, §IV-B)."""
+
+import pytest
+
+from repro.network import FLIT_BYTES, MessageBased, PacketBased
+
+
+class TestPacketBased:
+    def test_head_flit_overhead_fig2_endpoints(self):
+        # Fig. 2: 64 B payload -> 25% overhead, 256 B -> 6.25%.
+        assert PacketBased(payload_bytes=64).head_flit_overhead() == 0.25
+        assert PacketBased(payload_bytes=256).head_flit_overhead() == 0.0625
+
+    def test_fig2_monotonically_decreasing(self):
+        overheads = [
+            PacketBased(payload_bytes=p).head_flit_overhead()
+            for p in (64, 128, 192, 256)
+        ]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_packet_count(self):
+        fc = PacketBased(payload_bytes=256)
+        assert fc.num_packets(256) == 1
+        assert fc.num_packets(257) == 2
+        assert fc.num_packets(1024) == 4
+
+    def test_wire_bytes_include_head_flits(self):
+        fc = PacketBased(payload_bytes=256)
+        assert fc.wire_bytes(1024) == 1024 + 4 * FLIT_BYTES
+
+    def test_steady_state_overhead_matches_head_flit_ratio(self):
+        fc = PacketBased(payload_bytes=256)
+        large = 1 << 20
+        assert fc.overhead(large) == pytest.approx(fc.head_flit_overhead(), rel=1e-3)
+
+    def test_payload_rounds_up_to_flits(self):
+        fc = PacketBased(payload_bytes=256)
+        assert fc.payload_flits(1) == 1
+        assert fc.payload_flits(17) == 2
+
+    def test_non_flit_aligned_payload_rejected(self):
+        with pytest.raises(ValueError):
+            PacketBased(payload_bytes=100)
+
+
+class TestMessageBased:
+    def test_single_head_flit(self):
+        fc = MessageBased()
+        assert fc.wire_flits(1024) == 1024 // FLIT_BYTES + 1
+
+    def test_overhead_vanishes_for_large_gradients(self):
+        fc = MessageBased()
+        assert fc.overhead(1 << 24) < 1e-5
+
+    def test_saves_about_6_percent_vs_256B_packets(self):
+        # §VI-A: message-based flow control buys ~6% payload bandwidth.
+        pkt = PacketBased(payload_bytes=256)
+        msg = MessageBased()
+        large = 1 << 24
+        saving = pkt.wire_bytes(large) / msg.wire_bytes(large) - 1
+        assert saving == pytest.approx(0.0625, rel=0.02)
+
+    def test_serialization_time(self):
+        fc = MessageBased()
+        bw = 16e9
+        assert fc.serialization_time(16e6, bw) == pytest.approx(
+            (16e6 + FLIT_BYTES) / bw, rel=1e-6
+        )

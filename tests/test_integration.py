@@ -1,0 +1,160 @@
+"""Integration tests: the paper's headline qualitative claims end to end.
+
+Each test exercises topology construction -> schedule building -> NI
+injection -> discrete-event simulation and asserts the *shape* of a result
+the paper reports (who wins, roughly by how much, where crossovers fall).
+"""
+
+import pytest
+
+from repro.analysis import speedup
+from repro.collectives import build_schedule
+from repro.compute import get_model
+from repro.network import MessageBased, PacketBased
+from repro.ni import simulate_allreduce
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+from repro.training import nonoverlapped_iteration, overlapped_iteration
+
+KiB = 1024
+MiB = 1 << 20
+
+
+def _bw(alg, topo, size, fc=None):
+    schedule = build_schedule(alg, topo)
+    return simulate_allreduce(schedule, size, fc or PacketBased()).bandwidth
+
+
+class TestFig9Torus:
+    @pytest.mark.parametrize("size", [32 * KiB, 4 * MiB, 64 * MiB])
+    def test_multitree_best_at_all_sizes(self, size):
+        topo = Torus2D(4, 4)
+        mt = _bw("multitree", topo, size)
+        for alg in ("ring", "dbtree", "2d-ring"):
+            assert mt > _bw(alg, topo, size)
+
+    def test_dbtree_worst_at_large_sizes(self):
+        topo = Torus2D(4, 4)
+        db = _bw("dbtree", topo, 64 * MiB)
+        for alg in ("ring", "2d-ring", "multitree"):
+            assert db < _bw(alg, topo, 64 * MiB) * 1.1
+
+    def test_2dring_beats_ring_on_torus(self):
+        topo = Torus2D(4, 4)
+        for size in (32 * KiB, 64 * MiB):
+            assert _bw("2d-ring", topo, size) > _bw("ring", topo, size)
+
+
+class TestFig9Mesh:
+    def test_2dring_beats_ring_on_small_mesh(self):
+        topo = Mesh2D(4, 4)
+        assert _bw("2d-ring", topo, 32 * KiB) > _bw("ring", topo, 32 * KiB)
+
+    def test_2dring_loses_to_ring_on_large_mesh(self):
+        # §VI-A: no perfect ring in a mesh dimension + 2x data volume.
+        topo = Mesh2D(8, 8)
+        assert _bw("2d-ring", topo, 64 * MiB) < _bw("ring", topo, 64 * MiB)
+
+    def test_multitree_best_on_mesh(self):
+        topo = Mesh2D(8, 8)
+        for size in (32 * KiB, 64 * MiB):
+            mt = _bw("multitree", topo, size)
+            for alg in ("ring", "dbtree", "2d-ring"):
+                assert mt > _bw(alg, topo, size)
+
+
+class TestFig9SwitchNetworks:
+    def test_multitree_wins_small_on_fattree(self):
+        topo = FatTree(4, 4)
+        assert _bw("multitree", topo, 32 * KiB) > _bw("ring", topo, 32 * KiB)
+
+    def test_multitree_matches_ring_large_on_fattree(self):
+        # §VI-A: both fully utilize bandwidth at large sizes.
+        topo = FatTree(4, 4)
+        ratio = _bw("multitree", topo, 64 * MiB) / _bw("ring", topo, 64 * MiB)
+        assert 0.9 < ratio < 1.3
+
+    def test_hdrm_slower_than_multitree_small_on_bigraph(self):
+        # HDRM never exploits same-switch one-hop proximity (§II-C).
+        topo = BiGraph(2, 8)
+        assert _bw("multitree", topo, 32 * KiB) > _bw("hdrm", topo, 32 * KiB)
+
+    def test_hdrm_matches_multitree_large_on_bigraph(self):
+        topo = BiGraph(2, 8)
+        ratio = _bw("multitree", topo, 64 * MiB) / _bw("hdrm", topo, 64 * MiB)
+        assert 0.8 < ratio < 1.4
+
+
+class TestMessageFlowControl:
+    def test_six_percent_gain_at_large_size(self):
+        topo = Torus2D(4, 4)
+        pkt = _bw("multitree", topo, 64 * MiB, PacketBased())
+        msg = _bw("multitree", topo, 64 * MiB, MessageBased())
+        assert msg / pkt == pytest.approx(1.0625, rel=0.02)
+
+
+class TestFig10Scalability:
+    def test_weak_scaling_ordering(self):
+        # 375*N KiB per size; multitree > 2d-ring > ring at every scale.
+        for dims in ((4, 4), (4, 8), (8, 8)):
+            topo = Torus2D(*dims)
+            size = 375 * KiB * topo.num_nodes
+            t_ring = simulate_allreduce(build_schedule("ring", topo), size).time
+            t_2d = simulate_allreduce(build_schedule("2d-ring", topo), size).time
+            t_mt = simulate_allreduce(
+                build_schedule("multitree", topo), size, MessageBased()
+            ).time
+            assert t_mt < t_2d < t_ring
+
+    def test_multitree_speedup_grows_with_scale(self):
+        speedups = []
+        for dims in ((4, 4), (8, 8)):
+            topo = Torus2D(*dims)
+            size = 375 * KiB * topo.num_nodes
+            t_ring = simulate_allreduce(build_schedule("ring", topo), size).time
+            t_mt = simulate_allreduce(
+                build_schedule("multitree", topo), size, MessageBased()
+            ).time
+            speedups.append(speedup(t_ring, t_mt))
+        assert speedups[1] > speedups[0]
+        assert speedups[1] > 2.5  # paper: ~3x at scale
+
+
+class TestFig11Training:
+    @pytest.fixture(scope="class")
+    def torus(self):
+        return Torus2D(4, 4)
+
+    def test_communication_bound_models_gain_most(self, torus):
+        ring = build_schedule("ring", torus)
+        mt = build_schedule("multitree", torus)
+        ncf_gain = speedup(
+            nonoverlapped_iteration(get_model("NCF"), ring).total_time,
+            nonoverlapped_iteration(get_model("NCF"), mt).total_time,
+        )
+        agz_gain = speedup(
+            nonoverlapped_iteration(get_model("AlphaGoZero"), ring).total_time,
+            nonoverlapped_iteration(get_model("AlphaGoZero"), mt).total_time,
+        )
+        assert ncf_gain > agz_gain
+        assert ncf_gain > 2.0  # paper: up to 81% reduction for NCF
+
+    def test_overlap_helps_cnns_more_than_ncf(self, torus):
+        ring = build_schedule("ring", torus)
+        for name, expect_hidden in (("ResNet50", True), ("NCF", False)):
+            model = get_model(name)
+            non = nonoverlapped_iteration(model, ring)
+            over = overlapped_iteration(model, ring)
+            hidden = 1 - over.exposed_comm_time / max(non.allreduce_time, 1e-12)
+            if expect_hidden:
+                assert hidden > 0.5
+            else:
+                assert hidden < 0.3
+
+    def test_multitree_still_wins_with_overlap(self, torus):
+        ring = build_schedule("ring", torus)
+        mt = build_schedule("multitree", torus)
+        model = get_model("Transformer")
+        assert (
+            overlapped_iteration(model, mt).total_time
+            < overlapped_iteration(model, ring).total_time
+        )

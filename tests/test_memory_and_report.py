@@ -1,0 +1,118 @@
+"""Tests for memory-traffic accounting and the schedule reports."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_step_utilization,
+    render_gantt,
+    step_utilization,
+    utilization_summary,
+)
+from repro.collectives import build_schedule
+from repro.compute import Conv2D, Dense, GemmShape, SystolicArray, get_model
+from repro.compute.memory import (
+    MemoryTraffic,
+    gemm_traffic,
+    layer_traffic,
+    model_dram_footprint_bytes,
+)
+from repro.ni import simulate_allreduce
+from repro.topology import Torus2D
+
+MiB = 1 << 20
+
+
+class TestGemmTraffic:
+    def test_exact_single_fold(self):
+        pe = SystolicArray(rows=32, cols=32)
+        traffic = gemm_traffic(pe, GemmShape(32, 100, 32))
+        assert traffic.sram_activation_reads == 32 * 100
+        assert traffic.sram_weight_reads == 32 * 100
+        assert traffic.sram_output_writes == 32 * 32
+
+    def test_folds_replay_operands(self):
+        pe = SystolicArray(rows=32, cols=32)
+        traffic = gemm_traffic(pe, GemmShape(64, 10, 64))
+        # Activations re-stream once per column fold, weights per row fold.
+        assert traffic.sram_activation_reads == 64 * 10 * 2
+        assert traffic.sram_weight_reads == 64 * 10 * 2
+
+    def test_dram_footprint(self):
+        pe = SystolicArray()
+        traffic = gemm_traffic(pe, GemmShape(10, 20, 30))
+        assert traffic.dram_bytes == 4 * (200 + 600 + 300)
+
+    def test_required_bandwidth_positive(self):
+        pe = SystolicArray()
+        traffic = gemm_traffic(pe, GemmShape(32, 128, 32))
+        assert traffic.required_dram_bandwidth() > 0
+
+    def test_partial_tiles_counted_exactly(self):
+        pe = SystolicArray(rows=4, cols=4)
+        traffic = gemm_traffic(pe, GemmShape(5, 3, 5))
+        # Output writes equal M*N exactly regardless of tiling.
+        assert traffic.sram_output_writes == 25
+
+
+class TestLayerTraffic:
+    def test_backward_traffic_larger(self):
+        pe = SystolicArray()
+        conv = Conv2D("c", 28, 28, 64, 3, 3, 64, padding=1)
+        fwd = layer_traffic(pe, conv, backward=False)
+        bwd = layer_traffic(pe, conv, backward=True)
+        assert bwd.dram_bytes > fwd.dram_bytes
+        assert bwd.cycles > fwd.cycles
+
+    def test_model_footprint_positive_and_ordered(self):
+        small = model_dram_footprint_bytes(get_model("GoogLeNet").layers)
+        big = model_dram_footprint_bytes(get_model("FasterRCNN").layers)
+        assert 0 < small < big
+
+    def test_sram_accesses_aggregate(self):
+        pe = SystolicArray()
+        fc = Dense("fc", 128, 128)
+        t = layer_traffic(pe, fc)
+        assert t.sram_accesses == (
+            t.sram_activation_reads + t.sram_weight_reads + t.sram_output_writes
+        )
+
+
+class TestStepUtilization:
+    def test_ring_uses_quarter_of_torus_links_every_step(self):
+        schedule = build_schedule("ring", Torus2D(4, 4))
+        util = step_utilization(schedule)
+        assert all(v == pytest.approx(0.25) for v in util.values())
+
+    def test_multitree_denser_than_ring(self):
+        ring = utilization_summary(build_schedule("ring", Torus2D(4, 4)))
+        mt = utilization_summary(build_schedule("multitree", Torus2D(4, 4)))
+        assert mt[1] > ring[1]  # higher mean utilization
+
+    def test_footnote5_leaf_steps_sparser(self):
+        # Reduce-scatter starts at the (dense-to-schedule) leaf levels; on
+        # irregular trees the first/last steps are the under-utilized ones.
+        schedule = build_schedule("multitree", Torus2D(8, 8))
+        util = step_utilization(schedule)
+        tot_t = schedule.metadata["tot_t"]
+        mid = util[tot_t]  # last reduce step: root level, densest
+        assert util[1] <= mid
+
+    def test_format_renders(self):
+        schedule = build_schedule("multitree", Torus2D(2, 2))
+        text = format_step_utilization(schedule)
+        assert "step" in text and "%" in text
+
+
+class TestGantt:
+    def test_render(self):
+        schedule = build_schedule("ring", Torus2D(2, 2))
+        result = simulate_allreduce(schedule, 1 * MiB)
+        text = render_gantt(result.simulation)
+        assert "link occupancy" in text
+        assert "#" in text
+
+    def test_empty(self):
+        from repro.network.simulator import SimulationResult
+
+        empty = SimulationResult(0.0, [], {}, 0.0)
+        assert render_gantt(empty) == "(no traffic)"

@@ -1,0 +1,95 @@
+"""Tests for the seven DNN workload tables (§V-B)."""
+
+import pytest
+
+from repro.compute import MODEL_BUILDERS, all_models, get_model
+
+#: Published parameter counts (millions) with a tolerance for head/bias
+#: bookkeeping differences.
+EXPECTED_PARAMS_M = {
+    "AlexNet": (55, 70),
+    "AlphaGoZero": (18, 28),
+    "FasterRCNN": (120, 150),
+    "GoogLeNet": (5.5, 8.5),
+    "NCF": (15, 30),
+    "ResNet50": (23, 28),
+    "Transformer": (55, 75),
+}
+
+
+def test_all_seven_models_present():
+    assert set(MODEL_BUILDERS) == set(EXPECTED_PARAMS_M)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_PARAMS_M))
+def test_parameter_counts_match_published(name):
+    lo, hi = EXPECTED_PARAMS_M[name]
+    params_m = get_model(name).total_params / 1e6
+    assert lo <= params_m <= hi, "%s has %.1fM params" % (name, params_m)
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError):
+        get_model("VGG19")
+
+
+def test_gradient_bytes_are_4x_params():
+    model = get_model("ResNet50")
+    assert model.gradient_bytes == 4 * model.total_params
+
+
+def test_weighted_layers_subset():
+    model = get_model("Transformer")
+    weighted = model.weighted_layers()
+    assert 0 < len(weighted) < len(model.layers)
+    assert all(layer.has_weights for layer in weighted)
+
+
+def test_alexnet_fc_layers_dominate_params():
+    model = get_model("AlexNet")
+    fc_params = sum(l.params for l in model.layers if l.name.startswith("fc"))
+    assert fc_params > 0.9 * model.total_params
+
+
+def test_ncf_embeddings_dominate_params():
+    model = get_model("NCF")
+    emb = sum(l.params for l in model.layers if "emb" in l.name)
+    assert emb > 0.99 * model.total_params
+
+
+def test_resnet50_layer_count():
+    model = get_model("ResNet50")
+    convs = [l for l in model.layers if "conv" in l.name or "1x1" in l.name or "3x3" in l.name]
+    assert len(model.layers) == 54  # 49 convs + 4 projections + fc
+
+
+def test_googlenet_inception_structure():
+    model = get_model("GoogLeNet")
+    assert sum(1 for l in model.layers if l.name.startswith("inc")) == 9 * 6
+
+
+def test_alphagozero_residual_tower():
+    model = get_model("AlphaGoZero")
+    res_convs = [l for l in model.layers if l.name.startswith("res")]
+    assert len(res_convs) == 38  # 19 blocks x 2 convs
+
+
+def test_transformer_attention_has_unweighted_matmuls():
+    model = get_model("Transformer")
+    scores = [l for l in model.layers if l.name.endswith("_scores")]
+    assert scores and all(not l.has_weights for l in scores)
+
+
+def test_comm_to_compute_ratio_ordering():
+    """NCF and Transformer are communication-dominant (§VI-C): their
+    gradient-bytes-per-compute ratios far exceed the CNNs'."""
+    from repro.compute import Accelerator
+
+    acc = Accelerator()
+    ratio = {}
+    for name, model in all_models().items():
+        compute = acc.iteration_compute_time(model.layers)
+        ratio[name] = model.gradient_bytes / max(compute, 1e-12)
+    for cnn in ("AlphaGoZero", "GoogLeNet", "ResNet50", "FasterRCNN"):
+        assert ratio["NCF"] > 10 * ratio[cnn]
+        assert ratio["Transformer"] > ratio[cnn]

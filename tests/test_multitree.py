@@ -1,0 +1,161 @@
+"""Tests for the MULTITREE construction and schedule (Algorithm 1)."""
+
+import pytest
+
+from repro.analysis.volume import is_bandwidth_optimal
+from repro.collectives import build_trees, multitree_allreduce, verify_allreduce
+from repro.collectives.schedule import OpKind
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+
+ALL_TOPOLOGIES = [
+    Torus2D(2, 2),
+    Torus2D(4, 4),
+    Torus2D(8, 8),
+    Mesh2D(2, 2),
+    Mesh2D(4, 4),
+    Mesh2D(3, 5),
+    Torus2D(4, 8),
+    FatTree(4, 4),
+    FatTree(8, 8),
+    BiGraph(2, 4),
+    BiGraph(2, 8),
+]
+
+
+class TestTreeConstruction:
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=lambda t: t.name)
+    def test_one_spanning_tree_per_node(self, topo):
+        trees, tot_t = build_trees(topo)
+        assert len(trees) == topo.num_nodes
+        for tree in trees:
+            assert tree.complete
+            assert sorted(tree.members) == list(topo.nodes)
+            assert tree.members[tree.root] == 0
+
+    def test_edges_respect_step_capacity(self):
+        """Within any construction step, allocated links fit link capacity."""
+        topo = Torus2D(4, 4)
+        trees, tot_t = build_trees(topo)
+        for step in range(1, tot_t + 1):
+            used = {}
+            for tree in trees:
+                for edge in tree.edges:
+                    if edge.step == step:
+                        for key in edge.route:
+                            used[key] = used.get(key, 0) + 1
+            for key, count in used.items():
+                assert count <= topo.link(*key).capacity
+
+    def test_parents_joined_in_earlier_steps(self):
+        topo = Torus2D(4, 4)
+        trees, _ = build_trees(topo)
+        for tree in trees:
+            for edge in tree.edges:
+                assert tree.added_step[edge.parent] < edge.step
+
+    def test_single_hop_edges_on_direct_networks(self):
+        topo = Torus2D(4, 4)
+        trees, _ = build_trees(topo)
+        for tree in trees:
+            for edge in tree.edges:
+                assert len(edge.route) == 1
+                assert topo.has_link(edge.parent, edge.child)
+
+    def test_trees_are_balanced(self):
+        """Round-robin turns keep tree sizes within one of each other as
+        construction progresses; final depths stay near the minimum."""
+        topo = Torus2D(4, 4)
+        trees, tot_t = build_trees(topo)
+        depths = [tree.depth() for tree in trees]
+        assert max(depths) - min(depths) <= 2
+
+    def test_mesh_trees_asymmetric_heights(self):
+        # §III-B: on meshes the longest distance depends on root position,
+        # so trees have different heights (corner roots are deeper).
+        topo = Mesh2D(4, 4)
+        trees, _ = build_trees(topo)
+        depths = {tree.root: tree.depth() for tree in trees}
+        assert depths[0] > min(depths.values()) or len(set(depths.values())) > 1
+
+    def test_indirect_routes_traverse_switches(self):
+        topo = FatTree(4, 4)
+        trees, _ = build_trees(topo)
+        for tree in trees:
+            for edge in tree.edges:
+                assert len(edge.route) in (2, 4)
+                assert edge.route[0] == (edge.parent, topo.leaf_of(edge.parent))
+                assert edge.route[-1][1] == edge.child
+
+
+class TestMultiTreeSchedule:
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=lambda t: t.name)
+    def test_correct_everywhere(self, topo):
+        verify_allreduce(multitree_allreduce(topo))
+
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=lambda t: t.name)
+    def test_contention_free_by_construction(self, topo):
+        schedule = multitree_allreduce(topo)
+        assert schedule.max_step_link_overlap() == 1
+
+    def test_bandwidth_optimal(self):
+        assert is_bandwidth_optimal(multitree_allreduce(Torus2D(4, 4)))
+
+    def test_reduce_scatter_mirrors_all_gather(self):
+        schedule = multitree_allreduce(Torus2D(4, 4))
+        tot_t = schedule.metadata["tot_t"]
+        reduces = {
+            (op.src, op.dst, op.flow, op.step)
+            for op in schedule.ops
+            if op.kind is OpKind.REDUCE
+        }
+        for op in schedule.ops:
+            if op.kind is OpKind.GATHER:
+                mirror_step = tot_t - (op.step - tot_t) + 1
+                assert (op.dst, op.src, op.flow, mirror_step) in reduces
+
+    def test_phase_split(self):
+        schedule = multitree_allreduce(Torus2D(4, 4))
+        tot_t = schedule.metadata["tot_t"]
+        assert schedule.num_steps == 2 * tot_t
+        for op in schedule.ops:
+            if op.kind is OpKind.REDUCE:
+                assert op.step <= tot_t
+            else:
+                assert op.step > tot_t
+
+    def test_fewer_steps_than_ring_on_torus(self):
+        topo = Torus2D(4, 4)
+        schedule = multitree_allreduce(topo)
+        assert schedule.num_steps < 30  # ring needs 2(n-1) = 30
+
+    def test_same_steps_as_ring_on_fattree(self):
+        # §VI-A: on Fat-Tree both MULTITREE and RING derive the same number
+        # of steps (the single NIC link serializes tree growth).
+        topo = FatTree(4, 4)
+        schedule = multitree_allreduce(topo)
+        assert schedule.metadata["tot_t"] == topo.num_nodes - 1
+
+    def test_each_flow_forms_tree_of_n_minus_1_edges(self):
+        topo = Torus2D(4, 4)
+        schedule = multitree_allreduce(topo)
+        n = topo.num_nodes
+        for flow in range(n):
+            gathers = [
+                op for op in schedule.ops
+                if op.flow == flow and op.kind is OpKind.GATHER
+            ]
+            assert len(gathers) == n - 1
+            assert {op.dst for op in gathers} == set(topo.nodes) - {flow}
+
+    def test_reduce_routes_are_reversed_gather_routes(self):
+        topo = FatTree(4, 4)
+        schedule = multitree_allreduce(topo)
+        gathers = {
+            (op.src, op.dst, op.flow): op.route
+            for op in schedule.ops
+            if op.kind is OpKind.GATHER
+        }
+        for op in schedule.ops:
+            if op.kind is OpKind.REDUCE:
+                fwd = gathers[(op.dst, op.src, op.flow)]
+                assert op.route == tuple((b, a) for (a, b) in reversed(fwd))

@@ -1,0 +1,112 @@
+"""Tests for the extra collectives built on MULTITREE trees (§VII-B)."""
+
+import pytest
+
+from repro.collectives import (
+    all_gather_schedule,
+    alltoall_schedule,
+    broadcast_schedule,
+    reduce_scatter_schedule,
+    reduce_schedule,
+    verify_all_gather,
+    verify_alltoall,
+    verify_broadcast,
+    verify_reduce,
+    verify_reduce_scatter,
+)
+from repro.collectives.schedule import OpKind
+from repro.ni import simulate_allreduce
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+
+TOPOLOGIES = [Torus2D(4, 4), Mesh2D(4, 4), FatTree(4, 4), BiGraph(2, 4)]
+MiB = 1 << 20
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+    def test_correct(self, topo):
+        verify_reduce_scatter(reduce_scatter_schedule(topo))
+
+    def test_half_the_allreduce_steps(self):
+        topo = Torus2D(4, 4)
+        rs = reduce_scatter_schedule(topo)
+        assert rs.num_steps == rs.metadata["tot_t"]
+
+    def test_only_reduce_ops(self):
+        rs = reduce_scatter_schedule(Torus2D(4, 4))
+        assert all(op.kind is OpKind.REDUCE for op in rs.ops)
+
+    def test_contention_free(self):
+        assert reduce_scatter_schedule(Torus2D(4, 4)).max_step_link_overlap() == 1
+
+
+class TestAllGather:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+    def test_correct(self, topo):
+        verify_all_gather(all_gather_schedule(topo))
+
+    def test_only_gather_ops(self):
+        ag = all_gather_schedule(Torus2D(4, 4))
+        assert all(op.kind is OpKind.GATHER for op in ag.ops)
+
+    def test_simulates(self):
+        res = simulate_allreduce(all_gather_schedule(Torus2D(4, 4)), 4 * MiB)
+        assert res.time > 0
+
+
+class TestBroadcastReduce:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+    def test_broadcast_correct(self, topo):
+        for root in (0, topo.num_nodes - 1):
+            verify_broadcast(broadcast_schedule(topo, root), root)
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+    def test_reduce_correct(self, topo):
+        for root in (0, topo.num_nodes // 2):
+            verify_reduce(reduce_schedule(topo, root), root)
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast_schedule(Torus2D(2, 2), root=99)
+        with pytest.raises(ValueError):
+            reduce_schedule(Torus2D(2, 2), root=-1)
+
+    def test_broadcast_has_n_minus_1_transfers(self):
+        topo = Torus2D(4, 4)
+        assert len(broadcast_schedule(topo, 3).ops) == 15
+
+    def test_broadcast_depth_logarithmic_on_torus(self):
+        topo = Torus2D(4, 4)
+        schedule = broadcast_schedule(topo, 0)
+        # Bounded by MultiTree's construction depth, far below ring's n-1.
+        assert schedule.num_steps <= 6
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+    def test_correct(self, topo):
+        verify_alltoall(alltoall_schedule(topo))
+
+    def test_edge_carries_subtree_destinations(self):
+        topo = Torus2D(2, 2)
+        schedule = alltoall_schedule(topo)
+        # Total ops = sum over trees of sum of subtree sizes = n * (paths).
+        assert len(schedule.ops) >= 4 * 3
+        # Every (source, destination) pair except self is deliverable.
+        pairs = {(op.flow, int(op.chunk.lo * 4)) for op in schedule.ops}
+        for src in range(4):
+            for dst in range(4):
+                if src != dst:
+                    assert (src, dst) in pairs
+
+    def test_volume_exceeds_allgather(self):
+        # Personalized all-to-all forwards distinct data through internal
+        # nodes, so total volume exceeds the broadcast tree's n-1 chunks.
+        topo = Torus2D(4, 4)
+        a2a = alltoall_schedule(topo)
+        ag = all_gather_schedule(topo)
+        assert float(a2a.total_data_fraction()) > float(ag.total_data_fraction()) / 16
+
+    def test_simulates_with_lockstep(self):
+        res = simulate_allreduce(alltoall_schedule(Torus2D(4, 4)), 4 * MiB)
+        assert res.time > 0

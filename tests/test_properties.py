@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import (
+    build_schedule,
+    dbtree_allreduce,
+    double_binary_trees,
+    halving_doubling_allreduce,
+    multitree_allreduce,
+    ring_allreduce,
+    verify_allreduce,
+)
+from repro.collectives.schedule import ChunkRange
+from repro.network import Message, NetworkSimulator, PacketBased
+from repro.network.flowcontrol import MessageBased
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+
+
+# -- strategies ---------------------------------------------------------------
+
+grid_dims = st.tuples(st.integers(2, 5), st.integers(2, 5))
+
+topologies = st.one_of(
+    grid_dims.map(lambda wh: Torus2D(*wh)),
+    grid_dims.map(lambda wh: Mesh2D(*wh)),
+    st.tuples(st.integers(2, 4), st.integers(2, 4)).map(lambda a: FatTree(*a)),
+    st.sampled_from([BiGraph(2, 2), BiGraph(2, 4), BiGraph(2, 6)]),
+)
+
+
+# -- all-reduce correctness under random topologies and inputs -----------------
+
+@settings(max_examples=25, deadline=None)
+@given(topo=topologies, seed=st.integers(0, 2**31))
+def test_ring_allreduce_always_correct(topo, seed):
+    rng = np.random.default_rng(seed)
+    schedule = ring_allreduce(topo)
+    grain = schedule.granularity
+    inputs = rng.integers(-1000, 1000, size=(topo.num_nodes, grain), dtype=np.int64)
+    verify_allreduce(schedule, inputs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(topo=topologies)
+def test_multitree_allreduce_always_correct(topo):
+    verify_allreduce(multitree_allreduce(topo))
+
+
+@settings(max_examples=20, deadline=None)
+@given(topo=topologies)
+def test_multitree_always_contention_free(topo):
+    assert multitree_allreduce(topo).max_step_link_overlap() == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(topo=topologies, blocks=st.integers(1, 6))
+def test_dbtree_allreduce_always_correct(topo, blocks):
+    verify_allreduce(dbtree_allreduce(topo, num_blocks=blocks))
+
+
+@settings(max_examples=15, deadline=None)
+@given(wh=grid_dims)
+def test_ring2d_always_correct(wh):
+    verify_allreduce(build_schedule("2d-ring", Torus2D(*wh)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(log_n=st.integers(2, 6), seed=st.integers(0, 2**31))
+def test_halving_doubling_any_permutation_correct(log_n, seed):
+    n = 2 ** log_n
+    topo = Torus2D(2 ** (log_n // 2), 2 ** (log_n - log_n // 2))
+    assert topo.num_nodes == n
+    rng = np.random.default_rng(seed)
+    perm = [int(x) for x in rng.permutation(n)]
+    verify_allreduce(halving_doubling_allreduce(topo, rank_to_node=perm))
+
+
+# -- chunk range algebra --------------------------------------------------------
+
+fractions = st.fractions(min_value=0, max_value=1, max_denominator=64)
+
+
+@given(a=fractions, b=fractions)
+def test_chunkrange_construction_consistency(a, b):
+    lo, hi = min(a, b), max(a, b)
+    if lo == hi:
+        with pytest.raises(ValueError):
+            ChunkRange(lo, hi)
+    else:
+        c = ChunkRange(lo, hi)
+        assert c.fraction == hi - lo
+        assert c.overlaps(c)
+
+
+@given(i=st.integers(0, 63), j=st.integers(0, 63), n=st.just(64))
+def test_distinct_chunks_never_overlap(i, j, n):
+    a, b = ChunkRange.nth_of(i, n), ChunkRange.nth_of(j, n)
+    assert a.overlaps(b) == (i == j)
+
+
+@given(i=st.integers(0, 15))
+def test_unit_span_roundtrip(i):
+    c = ChunkRange.nth_of(i, 16)
+    lo, hi = c.unit_span(16)
+    assert (lo, hi) == (i, i + 1)
+    lo2, hi2 = c.unit_span(64)
+    assert (lo2, hi2) == (4 * i, 4 * i + 4)
+
+
+# -- double binary trees ---------------------------------------------------------
+
+@given(n=st.integers(2, 128))
+def test_double_binary_trees_always_valid(n):
+    for tree in double_binary_trees(n):
+        nodes = tree.nodes()
+        assert sorted(nodes) == list(range(n))
+        # Parent links are acyclic and reach the root.
+        for node in nodes:
+            seen = set()
+            cur = node
+            while cur != tree.root:
+                assert cur not in seen
+                seen.add(cur)
+                cur = tree.parent[cur]
+
+
+@given(n=st.integers(2, 128).filter(lambda n: n % 2 == 0))
+def test_even_n_leaves_complementary(n):
+    t1, t2 = double_binary_trees(n)
+    leaves1 = {r for r in range(n) if not t1.children.get(r)}
+    leaves2 = {r for r in range(n) if not t2.children.get(r)}
+    assert leaves1.isdisjoint(leaves2)
+
+
+# -- simulator conservation laws ---------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1024, 1 << 20), min_size=1, max_size=8),
+    seed=st.integers(0, 2**31),
+)
+def test_simulator_time_bounds(sizes, seed):
+    """Finish time is at least the largest serialization + latency and at
+    most the fully serialized sum; queue delays are never negative."""
+    topo = Torus2D(4, 4)
+    fc = PacketBased()
+    rng = np.random.default_rng(seed)
+    msgs = []
+    for size in sizes:
+        src = int(rng.integers(0, 16))
+        dst = int(rng.integers(0, 16))
+        if src == dst:
+            dst = (dst + 1) % 16
+        msgs.append(Message(src, dst, size, route=topo.route(src, dst)))
+    res = NetworkSimulator(topo, fc).run(msgs)
+    min_bound = max(
+        fc.serialization_time(m.payload_bytes, 16e9) + 150e-9 * len(m.route)
+        for m in msgs
+    )
+    max_bound = sum(
+        fc.serialization_time(m.payload_bytes, 16e9) * len(m.route)
+        + 150e-9 * len(m.route)
+        for m in msgs
+    )
+    assert min_bound - 1e-12 <= res.finish_time <= max_bound + 1e-12
+    assert all(t.queue_delay >= -1e-12 for t in res.timings)
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(1024, 1 << 22))
+def test_message_flow_control_never_slower(size):
+    topo = Torus2D(4, 4)
+    schedule = ring_allreduce(topo)
+    from repro.ni import simulate_allreduce
+
+    t_pkt = simulate_allreduce(schedule, size, PacketBased()).time
+    t_msg = simulate_allreduce(schedule, size, MessageBased()).time
+    assert t_msg <= t_pkt + 1e-12

@@ -1,0 +1,90 @@
+"""Tests for ring all-reduce."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.volume import (
+    is_bandwidth_optimal,
+    links_used_fraction,
+    max_node_volume_fraction,
+)
+from repro.collectives import ring_allreduce, verify_allreduce
+from repro.collectives.schedule import OpKind
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D, ring_order
+
+
+TOPOLOGIES = [Torus2D(4, 4), Mesh2D(4, 4), FatTree(4, 4), BiGraph(2, 4), Torus2D(8, 8)]
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+def test_ring_correct_everywhere(topo):
+    verify_allreduce(ring_allreduce(topo))
+
+
+def test_step_count_is_2n_minus_2():
+    schedule = ring_allreduce(Torus2D(4, 4))
+    assert schedule.num_steps == 30
+
+
+def test_bandwidth_optimal():
+    schedule = ring_allreduce(Torus2D(4, 4))
+    assert is_bandwidth_optimal(schedule)
+
+
+def test_every_step_all_nodes_active():
+    schedule = ring_allreduce(Torus2D(4, 4))
+    for _step, ops in schedule.steps():
+        assert len(ops) == 16
+        assert {op.src for op in ops} == set(range(16))
+
+
+def test_reduce_then_gather_phases():
+    schedule = ring_allreduce(Torus2D(4, 4))
+    for op in schedule.ops:
+        if op.step <= 15:
+            assert op.kind is OpKind.REDUCE
+        else:
+            assert op.kind is OpKind.GATHER
+
+
+def test_contention_free_on_grid():
+    for topo in (Torus2D(4, 4), Mesh2D(4, 4)):
+        schedule = ring_allreduce(topo)
+        assert schedule.max_step_link_overlap() == 1
+
+
+def test_single_hop_on_torus_hamiltonian():
+    topo = Torus2D(4, 4)
+    schedule = ring_allreduce(topo)
+    assert all(len(schedule.route_of(op)) == 1 for op in schedule.ops)
+
+
+def test_uses_25_percent_of_torus_links():
+    # The paper's motivating figure: 25% link utilization on a 4x4 Torus.
+    schedule = ring_allreduce(Torus2D(4, 4))
+    assert links_used_fraction(schedule) == pytest.approx(0.25)
+
+
+def test_custom_order_accepted():
+    topo = Torus2D(2, 2)
+    schedule = ring_allreduce(topo, order=[3, 1, 0, 2])
+    verify_allreduce(schedule)
+
+
+def test_invalid_order_rejected():
+    with pytest.raises(ValueError):
+        ring_allreduce(Torus2D(2, 2), order=[0, 1, 2, 2])
+
+
+def test_ring_order_groups_by_leaf_on_fattree():
+    ft = FatTree(4, 4)
+    order = ring_order(ft)
+    assert order == list(range(16))
+
+
+def test_correct_with_explicit_inputs():
+    topo = Torus2D(2, 2)
+    schedule = ring_allreduce(topo)
+    inputs = np.arange(16, dtype=np.int64).reshape(4, 4)
+    result = verify_allreduce(schedule, inputs)
+    assert np.array_equal(result.expected, inputs.sum(axis=0))

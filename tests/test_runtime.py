@@ -1,0 +1,86 @@
+"""Tests for the high-level Communicator runtime."""
+
+import numpy as np
+import pytest
+
+from repro.network import MessageBased
+from repro.runtime import Communicator
+from repro.topology import FatTree, Mesh2D, Torus2D
+
+
+class TestAllReduceData:
+    @pytest.mark.parametrize("algorithm", ["ring", "multitree", "2d-ring", "dbtree"])
+    def test_integer_exactness(self, algorithm):
+        topo = Torus2D(4, 4)
+        comm = Communicator(topo, algorithm)
+        rng = np.random.default_rng(3)
+        data = rng.integers(-1000, 1000, size=(16, 160), dtype=np.int64)
+        out, timing = comm.all_reduce(data)
+        expected = data.sum(axis=0)
+        assert np.array_equal(out, np.tile(expected, (16, 1)))
+        assert timing.time > 0
+
+    def test_float_allclose(self):
+        comm = Communicator(Torus2D(2, 2), "multitree")
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((4, 100))
+        out, _ = comm.all_reduce(data)
+        assert np.allclose(out, data.sum(axis=0)[np.newaxis, :].repeat(4, 0))
+
+    @pytest.mark.parametrize("length", [1, 3, 7, 15, 17, 100])
+    def test_odd_lengths(self, length):
+        # Lengths smaller than / misaligned with the chunk count still
+        # reduce exactly (narrow chunks collapse to zero-width slices).
+        comm = Communicator(Torus2D(4, 4), "multitree")
+        data = np.arange(16 * length, dtype=np.int64).reshape(16, length)
+        out, _ = comm.all_reduce(data)
+        assert np.array_equal(out, np.tile(data.sum(axis=0), (16, 1)))
+
+    def test_input_not_mutated(self):
+        comm = Communicator(Torus2D(2, 2), "ring")
+        data = np.ones((4, 8), dtype=np.int64)
+        original = data.copy()
+        comm.all_reduce(data)
+        assert np.array_equal(data, original)
+
+    def test_bad_shape_rejected(self):
+        comm = Communicator(Torus2D(2, 2))
+        with pytest.raises(ValueError):
+            comm.all_reduce(np.ones((3, 8)))
+        with pytest.raises(ValueError):
+            comm.all_reduce(np.ones((4, 0)))
+
+
+class TestTiming:
+    def test_prediction_cached(self):
+        comm = Communicator(Torus2D(4, 4))
+        a = comm.predict(1 << 20)
+        b = comm.predict(1 << 20)
+        assert a is b
+
+    def test_bad_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Communicator(Torus2D(2, 2)).predict(0)
+
+    def test_flow_control_threads_through(self):
+        topo = Torus2D(4, 4)
+        pkt = Communicator(topo, "multitree").predict(64 << 20)
+        msg = Communicator(topo, "multitree", flow_control=MessageBased()).predict(64 << 20)
+        assert msg.time < pkt.time
+
+    def test_multitree_faster_than_ring(self):
+        topo = Torus2D(4, 4)
+        ring = Communicator(topo, "ring").predict(16 << 20)
+        mt = Communicator(topo, "multitree").predict(16 << 20)
+        assert mt.time < ring.time
+
+    def test_builder_kwargs_forwarded(self):
+        comm = Communicator(Torus2D(4, 4), "multitree", priority="most-remaining")
+        assert comm.schedule.metadata["priority"] == "most-remaining"
+
+    def test_works_on_switch_topologies(self):
+        comm = Communicator(FatTree(4, 4))
+        data = np.ones((16, 32), dtype=np.int64)
+        out, timing = comm.all_reduce(data)
+        assert np.all(out == 16)
+        assert timing.bandwidth > 0

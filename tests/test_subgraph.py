@@ -1,0 +1,131 @@
+"""Tests for induced sub-topologies and schedule lifting (§VII-B)."""
+
+import pytest
+
+from repro.collectives import multitree_allreduce, ring_allreduce, verify_allreduce
+from repro.ni import build_messages, simulate_allreduce
+from repro.network import NetworkSimulator, PacketBased
+from repro.topology import FatTree, InducedSubgraph, Torus2D, lift_schedule
+
+MiB = 1 << 20
+
+
+def _quadrant(torus, qx, qy, size=2):
+    return InducedSubgraph(
+        torus,
+        [torus.node_at(qx * size + x, qy * size + y)
+         for y in range(size) for x in range(size)],
+    )
+
+
+class TestConstruction:
+    def test_renumbering(self):
+        torus = Torus2D(4, 4)
+        sub = _quadrant(torus, 1, 1)
+        assert sub.num_nodes == 4
+        assert sub.parent_node(0) == torus.node_at(2, 2)
+        assert sub.sub_node(torus.node_at(2, 2)) == 0
+
+    def test_only_member_links_kept(self):
+        torus = Torus2D(4, 4)
+        sub = _quadrant(torus, 0, 0)
+        # A 2x2 corner of a 4x4 torus keeps only the 4 internal edges
+        # (wrap links leave the member set).
+        assert sub.total_link_capacity() == 8
+
+    def test_disconnected_members_rejected(self):
+        torus = Torus2D(4, 4)
+        with pytest.raises(ValueError, match="connected"):
+            InducedSubgraph(torus, [0, 10])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            InducedSubgraph(Torus2D(4, 4), [0, 1, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            InducedSubgraph(Torus2D(4, 4), [0, 99])
+
+    def test_switch_networks_rejected(self):
+        with pytest.raises(ValueError):
+            InducedSubgraph(FatTree(4, 4), [0, 1])
+
+    def test_link_parameters_inherited(self):
+        torus = Torus2D(4, 4, bandwidth=8e9, latency=1e-6)
+        sub = _quadrant(torus, 0, 0)
+        spec = sub.link(0, 1)
+        assert spec.bandwidth == 8e9
+        assert spec.latency == 1e-6
+
+
+class TestRouting:
+    def test_routes_stay_inside_subgraph(self):
+        torus = Torus2D(8, 8)
+        sub = InducedSubgraph(
+            torus, [torus.node_at(x, y) for y in range(4) for x in range(4)]
+        )
+        for src in sub.nodes:
+            for dst in sub.nodes:
+                cur = src
+                for (u, v) in sub.route(src, dst):
+                    assert u == cur and sub.has_link(u, v)
+                    cur = v
+                if src != dst:
+                    assert cur == dst
+
+    def test_neighbor_preference_filtered(self):
+        torus = Torus2D(4, 4)
+        sub = _quadrant(torus, 0, 0)
+        prefs = sub.neighbor_preference(0)
+        assert all(0 <= p < sub.num_nodes for p in prefs)
+
+
+class TestSchedulesOnSubgraphs:
+    def test_multitree_correct_on_quadrant(self):
+        torus = Torus2D(8, 8)
+        sub = InducedSubgraph(
+            torus, [torus.node_at(x, y) for y in range(4) for x in range(4)]
+        )
+        schedule = multitree_allreduce(sub)
+        verify_allreduce(schedule)
+        assert schedule.max_step_link_overlap() == 1
+
+    def test_ring_correct_on_quadrant(self):
+        torus = Torus2D(8, 8)
+        sub = InducedSubgraph(
+            torus, [torus.node_at(x, y) for y in range(2) for x in range(4)]
+        )
+        verify_allreduce(ring_allreduce(sub))
+
+
+class TestLifting:
+    def test_lifted_endpoints_in_parent(self):
+        torus = Torus2D(4, 4)
+        sub = _quadrant(torus, 1, 0)
+        lifted = lift_schedule(multitree_allreduce(sub), sub)
+        lifted.check_endpoints()
+        members = {sub.parent_node(i) for i in sub.nodes}
+        for op in lifted.ops:
+            assert op.src in members and op.dst in members
+            for (u, v) in op.route:
+                assert torus.has_link(u, v)
+
+    def test_lifted_schedule_simulates_identically(self):
+        torus = Torus2D(4, 4)
+        sub = _quadrant(torus, 0, 1)
+        schedule = multitree_allreduce(sub)
+        lifted = lift_schedule(schedule, sub)
+        t_sub = simulate_allreduce(schedule, 4 * MiB).time
+        t_lift = simulate_allreduce(lifted, 4 * MiB).time
+        assert t_lift == pytest.approx(t_sub, rel=1e-9)
+
+    def test_concurrent_groups_do_not_interfere(self):
+        torus = Torus2D(4, 4)
+        groups = [_quadrant(torus, qx, qy) for qx in range(2) for qy in range(2)]
+        lifted = [lift_schedule(multitree_allreduce(g), g) for g in groups]
+        messages = []
+        for sched in lifted:
+            messages.extend(build_messages(sched, 4 * MiB, PacketBased()))
+        together = NetworkSimulator(torus, PacketBased()).run(messages)
+        alone = simulate_allreduce(lifted[0], 4 * MiB)
+        assert together.finish_time == pytest.approx(alone.time, rel=0.01)

@@ -1,0 +1,94 @@
+"""Unit tests for topology base classes and ring-embedding helpers."""
+
+import pytest
+
+from repro.topology import (
+    FatTree,
+    LinkSpec,
+    Mesh2D,
+    Ring1D,
+    Torus2D,
+    max_segment_hops,
+    ring_order,
+    ring_successor,
+)
+from repro.topology.base import Topology
+
+
+class TestLinkSpec:
+    def test_key(self):
+        spec = LinkSpec(1, 2)
+        assert spec.key == (1, 2)
+
+    def test_defaults_match_table3(self):
+        spec = LinkSpec(0, 1)
+        assert spec.bandwidth == 16e9
+        assert spec.latency == pytest.approx(150e-9)
+        assert spec.capacity == 1
+
+
+class TestTopologyBase:
+    def test_minimum_nodes(self):
+        with pytest.raises(ValueError):
+            Topology(1, "tiny")
+
+    def test_self_link_rejected(self):
+        topo = Topology(2, "t")
+        with pytest.raises(ValueError):
+            topo._add_link(0, 0)
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology(2, "t")
+        topo._add_link(0, 1)
+        with pytest.raises(ValueError):
+            topo._add_link(0, 1)
+
+    def test_node_neighbors_direct(self):
+        torus = Torus2D(4, 4)
+        nbrs = torus.node_neighbors(0)
+        assert sorted(nbrs) == sorted(torus.neighbors(0))
+
+    def test_node_neighbors_through_switch(self):
+        ft = FatTree(4, 4)
+        nbrs = ft.node_neighbors(0)
+        assert set(nbrs) == {1, 2, 3}  # same-leaf peers
+
+    def test_route_latency_and_hops(self):
+        torus = Torus2D(4, 4)
+        assert torus.hop_count(0, 2) == 2
+        assert torus.route_latency(0, 2) == pytest.approx(2 * 150e-9)
+
+    def test_links_copy_is_defensive(self):
+        torus = Torus2D(2, 2)
+        links = torus.links
+        links.clear()
+        assert torus.links  # internal state unaffected
+
+    def test_repr(self):
+        assert "torus-4x4" in repr(Torus2D(4, 4))
+
+
+class TestRingHelpers:
+    def test_ring_successor(self):
+        succ = ring_successor([3, 1, 2])
+        assert succ == {3: 1, 1: 2, 2: 3}
+
+    def test_max_segment_hops_torus_hamiltonian(self):
+        torus = Torus2D(4, 4)
+        assert max_segment_hops(torus, ring_order(torus)) == 1
+
+    def test_max_segment_hops_fattree(self):
+        ft = FatTree(4, 4)
+        # Cross-leaf segments traverse 4 links.
+        assert max_segment_hops(ft, ring_order(ft)) == 4
+
+    def test_ring_order_covers_all_nodes(self):
+        for topo in (Torus2D(4, 4), Mesh2D(4, 6), Ring1D(7), FatTree(4, 4)):
+            order = ring_order(topo)
+            assert sorted(order) == list(topo.nodes)
+
+    def test_odd_odd_mesh_falls_back_to_logical_ring(self):
+        mesh = Mesh2D(3, 3)
+        order = ring_order(mesh)
+        assert sorted(order) == list(mesh.nodes)
+        assert max_segment_hops(mesh, order) > 1

@@ -1,0 +1,173 @@
+"""Unit tests for 2D grid topologies (Torus2D / Mesh2D)."""
+
+import pytest
+
+from repro.topology import Mesh2D, Torus2D
+from repro.topology.base import DirectAllocationGraph
+
+
+class TestCoordinates:
+    def test_coord_roundtrip(self):
+        torus = Torus2D(4, 3)
+        for node in torus.nodes:
+            x, y = torus.coord(node)
+            assert torus.node_at(x, y) == node
+
+    def test_row_major_layout(self):
+        torus = Torus2D(4, 4)
+        assert torus.coord(0) == (0, 0)
+        assert torus.coord(5) == (1, 1)
+        assert torus.coord(15) == (3, 3)
+
+    def test_node_at_wraps(self):
+        torus = Torus2D(4, 4)
+        assert torus.node_at(4, 0) == 0
+        assert torus.node_at(-1, 0) == 3
+
+    def test_row_and_col_members(self):
+        torus = Torus2D(4, 4)
+        assert torus.row_members(1) == [4, 5, 6, 7]
+        assert torus.col_members(2) == [2, 6, 10, 14]
+
+
+class TestLinks:
+    def test_torus_degree(self):
+        torus = Torus2D(4, 4)
+        for node in torus.nodes:
+            assert len(torus.neighbors(node)) == 4
+
+    def test_mesh_corner_degree(self):
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.neighbors(0)) == 2
+        assert len(mesh.neighbors(5)) == 4
+
+    def test_torus_total_links(self):
+        torus = Torus2D(4, 4)
+        assert torus.total_link_capacity() == 4 * 16
+
+    def test_mesh_total_links(self):
+        mesh = Mesh2D(4, 4)
+        # 2 * (3*4 horizontal + 3*4 vertical) directed links
+        assert mesh.total_link_capacity() == 2 * (12 + 12)
+
+    def test_width2_torus_merges_wrap_duplicates(self):
+        torus = Torus2D(2, 4)
+        # +x and -x wrap to the same neighbor: one link of capacity 2.
+        x_nbr = torus.node_at(1, 0)
+        assert torus.link(0, x_nbr).capacity == 2
+
+    def test_links_are_bidirectional(self):
+        for topo in (Torus2D(4, 4), Mesh2D(3, 4)):
+            for (u, v) in topo.links:
+                assert topo.has_link(v, u)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(1, 4)
+
+
+class TestRouting:
+    def test_neighbor_route_is_one_hop(self):
+        torus = Torus2D(4, 4)
+        assert torus.route(0, 1) == [(0, 1)]
+
+    def test_self_route_empty(self):
+        assert Torus2D(4, 4).route(5, 5) == []
+
+    def test_dimension_order_x_first(self):
+        mesh = Mesh2D(4, 4)
+        path = mesh.route(0, 5)  # (0,0) -> (1,1)
+        assert path == [(0, 1), (1, 5)]
+
+    def test_torus_wrap_shortest_path(self):
+        torus = Torus2D(4, 4)
+        # 0 -> 3 is one wrap hop in -x, not three hops forward.
+        assert torus.route(0, 3) == [(0, 3)]
+
+    def test_mesh_no_wraparound(self):
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.route(0, 3)) == 3
+
+    def test_route_hops_bounded_by_diameter(self):
+        torus = Torus2D(4, 4)
+        for src in torus.nodes:
+            for dst in torus.nodes:
+                assert len(torus.route(src, dst)) <= 4
+
+    def test_route_links_exist_and_chain(self):
+        for topo in (Torus2D(4, 4), Mesh2D(4, 4)):
+            for src in topo.nodes:
+                for dst in topo.nodes:
+                    path = topo.route(src, dst)
+                    cur = src
+                    for (u, v) in path:
+                        assert u == cur
+                        assert topo.has_link(u, v)
+                        cur = v
+                    if path:
+                        assert cur == dst
+
+
+class TestNeighborPreference:
+    def test_y_dimension_first(self):
+        torus = Torus2D(4, 4)
+        prefs = torus.neighbor_preference(5)  # (1,1)
+        assert prefs[:2] == [torus.node_at(1, 2), torus.node_at(1, 0)]
+
+    def test_no_duplicates(self):
+        torus = Torus2D(2, 2)
+        prefs = torus.neighbor_preference(0)
+        assert len(prefs) == len(set(prefs))
+
+
+class TestHamiltonianRing:
+    @pytest.mark.parametrize("width,height", [(2, 2), (4, 4), (8, 8), (4, 6), (3, 4)])
+    def test_ring_is_hamiltonian_cycle(self, width, height):
+        mesh = Mesh2D(width, height)
+        order = mesh.hamiltonian_ring()
+        assert sorted(order) == list(mesh.nodes)
+        n = len(order)
+        for i in range(n):
+            assert mesh.has_link(order[i], order[(i + 1) % n])
+
+    def test_odd_by_even_transposes(self):
+        mesh = Mesh2D(4, 3)  # odd rows, even columns
+        order = mesh.hamiltonian_ring()
+        assert sorted(order) == list(mesh.nodes)
+
+    def test_odd_by_odd_raises(self):
+        with pytest.raises(ValueError):
+            Mesh2D(3, 3).hamiltonian_ring()
+
+
+class TestAllocationGraph:
+    def test_direct_allocation_consumes_capacity(self):
+        torus = Torus2D(4, 4)
+        alloc = torus.allocation_graph()
+        assert isinstance(alloc, DirectAllocationGraph)
+        before = alloc.total_remaining()
+        found = alloc.find_child(0, lambda c: True)
+        assert found is not None
+        assert found.parent == 0
+        assert alloc.total_remaining() == before - 1
+
+    def test_allocation_respects_eligibility(self):
+        torus = Torus2D(4, 4)
+        alloc = torus.allocation_graph()
+        found = alloc.find_child(0, lambda c: False)
+        assert found is None
+
+    def test_allocation_exhausts(self):
+        torus = Torus2D(2, 2)
+        alloc = torus.allocation_graph()
+        grabbed = 0
+        while alloc.find_child(0, lambda c: True) is not None:
+            grabbed += 1
+        # Node 0 in a 2x2 torus has 2 neighbors with capacity-2 links.
+        assert grabbed == 4
+
+    def test_allocation_prefers_y(self):
+        torus = Torus2D(4, 4)
+        alloc = torus.allocation_graph()
+        found = alloc.find_child(0, lambda c: True)
+        assert found.child == torus.node_at(0, 1)

@@ -1,0 +1,157 @@
+"""Unit tests for switch-based topologies (FatTree, BiGraph)."""
+
+import pytest
+
+from repro.topology import BiGraph, FatTree
+from repro.topology.base import IndirectAllocationGraph
+
+
+class TestFatTreeStructure:
+    def test_dgx2_like_16_nodes(self):
+        ft = FatTree(4, 4)
+        assert ft.num_nodes == 16
+        assert ft.num_switches == 8  # 4 leaves + 4 spines
+
+    def test_8ary_64_nodes(self):
+        ft = FatTree(8, 8)
+        assert ft.num_nodes == 64
+        assert ft.num_switches == 16
+
+    def test_leaf_assignment(self):
+        ft = FatTree(4, 4)
+        assert ft.leaf_of(0) == ft.leaf_of(3)
+        assert ft.leaf_of(0) != ft.leaf_of(4)
+        assert ft.leaf_members(1) == [4, 5, 6, 7]
+
+    def test_switch_vertices_flagged(self):
+        ft = FatTree(4, 4)
+        assert not ft.is_switch(15)
+        assert ft.is_switch(16)
+
+    def test_full_bisection_uplinks(self):
+        ft = FatTree(4, 4)
+        leaf = ft.leaf_of(0)
+        up = [v for v in ft.neighbors(leaf) if ft.is_switch(v)]
+        assert len(up) == 4  # one link to each spine
+
+
+class TestFatTreeRouting:
+    def test_same_leaf_two_hops(self):
+        ft = FatTree(4, 4)
+        assert len(ft.route(0, 1)) == 2
+
+    def test_cross_leaf_four_hops(self):
+        ft = FatTree(4, 4)
+        path = ft.route(0, 5)
+        assert len(path) == 4
+        assert path[0] == (0, ft.leaf_of(0))
+        assert path[-1][1] == 5
+
+    def test_route_uses_existing_links(self):
+        ft = FatTree(4, 4)
+        for src in ft.nodes:
+            for dst in ft.nodes:
+                for (u, v) in ft.route(src, dst):
+                    assert ft.has_link(u, v)
+
+    def test_spines_spread_by_destination(self):
+        ft = FatTree(4, 4)
+        spines = {ft.route(0, dst)[1][1] for dst in range(4, 8)}
+        assert len(spines) == 4  # different dests pick different spines
+
+
+class TestBiGraphStructure:
+    def test_paper_instances(self):
+        assert BiGraph(2, 8).num_nodes == 32   # "4x8"
+        assert BiGraph(2, 16).num_nodes == 64  # "4x16"
+
+    def test_layers_split_evenly(self):
+        bg = BiGraph(2, 8)
+        upper = [n for n in bg.nodes if bg.layer_of(n) == 0]
+        assert len(upper) == 16
+
+    def test_switch_members(self):
+        bg = BiGraph(2, 4)
+        first_switch = bg.switch_of(0)
+        assert bg.switch_members(first_switch) == [0, 1, 2, 3]
+
+    def test_interlayer_capacity_full_bisection(self):
+        bg = BiGraph(2, 8)
+        upper_sw = bg.switch_of(0)
+        lower_sw = bg.switch_of(31)
+        assert bg.link(upper_sw, lower_sw).capacity == 4  # 8 nodes / 2 switches
+
+    def test_no_same_layer_switch_links(self):
+        bg = BiGraph(2, 8)
+        sw_a = bg.switch_of(0)
+        sw_b = bg.switch_of(8)  # second upper switch
+        assert not bg.has_link(sw_a, sw_b)
+
+    def test_indivisible_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BiGraph(3, 8)
+
+
+class TestBiGraphRouting:
+    def test_same_switch_two_hops(self):
+        bg = BiGraph(2, 8)
+        assert len(bg.route(0, 1)) == 2
+
+    def test_cross_layer_three_hops(self):
+        bg = BiGraph(2, 8)
+        src, dst = 0, 16  # upper-layer node to lower-layer node
+        assert bg.layer_of(src) != bg.layer_of(dst)
+        assert len(bg.route(src, dst)) == 3
+
+    def test_same_layer_cross_switch_four_hops(self):
+        bg = BiGraph(2, 8)
+        src, dst = 0, 8  # both upper layer, different switches
+        assert bg.layer_of(src) == bg.layer_of(dst)
+        assert len(bg.route(src, dst)) == 4
+
+    def test_route_links_exist(self):
+        bg = BiGraph(2, 4)
+        for src in bg.nodes:
+            for dst in bg.nodes:
+                for (u, v) in bg.route(src, dst):
+                    assert bg.has_link(u, v)
+
+
+class TestIndirectAllocation:
+    def test_same_switch_child_preferred(self):
+        ft = FatTree(4, 4)
+        alloc = ft.allocation_graph()
+        assert isinstance(alloc, IndirectAllocationGraph)
+        found = alloc.find_child(0, lambda c: c != 0)
+        assert found is not None
+        # BFS finds a same-leaf node first: route is node->leaf->node.
+        assert len(found.route) == 2
+        assert found.child in (1, 2, 3)
+
+    def test_cross_switch_when_leaf_exhausted(self):
+        ft = FatTree(4, 4)
+        alloc = ft.allocation_graph()
+        found = alloc.find_child(0, lambda c: c >= 4)
+        assert found is not None
+        assert len(found.route) == 4
+
+    def test_capacity_consumed_along_route(self):
+        ft = FatTree(4, 4)
+        alloc = ft.allocation_graph()
+        before = alloc.total_remaining()
+        found = alloc.find_child(0, lambda c: c >= 4)
+        assert alloc.total_remaining() == before - len(found.route)
+
+    def test_nic_capacity_limits_parent(self):
+        ft = FatTree(4, 4)
+        alloc = ft.allocation_graph()
+        assert alloc.find_child(0, lambda c: c != 0) is not None
+        # The parent's single NIC uplink is now consumed.
+        assert alloc.find_child(0, lambda c: c != 0) is None
+
+    def test_bigraph_allocation_finds_same_switch_first(self):
+        bg = BiGraph(2, 8)
+        alloc = bg.allocation_graph()
+        found = alloc.find_child(0, lambda c: c != 0)
+        assert found is not None
+        assert len(found.route) == 2

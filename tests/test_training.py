@@ -1,0 +1,104 @@
+"""Tests for the training iteration models (Fig. 11a/11b)."""
+
+import pytest
+
+from repro.collectives import build_schedule
+from repro.compute import get_model
+from repro.ni import simulate_allreduce
+from repro.topology import Torus2D
+from repro.training import (
+    CalibratedAllReduce,
+    nonoverlapped_iteration,
+    overlapped_iteration,
+)
+
+MiB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def torus44_schedules():
+    topo = Torus2D(4, 4)
+    return {alg: build_schedule(alg, topo) for alg in ("ring", "multitree")}
+
+
+class TestCalibratedAllReduce:
+    def test_affine_model_matches_simulation(self, torus44_schedules):
+        schedule = torus44_schedules["ring"]
+        cal = CalibratedAllReduce(schedule)
+        for size in (256 * 1024, 4 * MiB, 48 * MiB):
+            exact = simulate_allreduce(schedule, size).time
+            assert cal.time(size) == pytest.approx(exact, rel=0.02)
+
+    def test_zero_bytes_is_free(self, torus44_schedules):
+        cal = CalibratedAllReduce(torus44_schedules["ring"])
+        assert cal.time(0) == 0.0
+
+    def test_alpha_beta_positive(self, torus44_schedules):
+        cal = CalibratedAllReduce(torus44_schedules["multitree"])
+        assert cal.alpha >= 0
+        assert cal.beta > 0
+
+    def test_bandwidth_grows_with_size(self, torus44_schedules):
+        cal = CalibratedAllReduce(torus44_schedules["ring"])
+        assert cal.bandwidth(64 * MiB) > cal.bandwidth(64 * 1024)
+
+
+class TestNonOverlapped:
+    def test_total_is_compute_plus_comm(self, torus44_schedules):
+        model = get_model("GoogLeNet")
+        b = nonoverlapped_iteration(model, torus44_schedules["ring"])
+        assert b.total_time == pytest.approx(b.compute_time + b.allreduce_time)
+        assert b.overlap_time == 0.0
+        assert b.exposed_comm_time == b.allreduce_time
+
+    def test_multitree_beats_ring(self, torus44_schedules):
+        model = get_model("Transformer")
+        ring = nonoverlapped_iteration(model, torus44_schedules["ring"])
+        mt = nonoverlapped_iteration(model, torus44_schedules["multitree"])
+        assert mt.total_time < ring.total_time
+        assert mt.compute_time == pytest.approx(ring.compute_time)
+
+    def test_comm_fraction_ordering(self, torus44_schedules):
+        schedule = torus44_schedules["ring"]
+        ncf = nonoverlapped_iteration(get_model("NCF"), schedule)
+        agz = nonoverlapped_iteration(get_model("AlphaGoZero"), schedule)
+        assert ncf.comm_fraction > 0.9
+        assert agz.comm_fraction < 0.6
+
+
+class TestOverlapped:
+    def test_overlap_never_slower_than_nonoverlap(self, torus44_schedules):
+        for name in ("GoogLeNet", "NCF", "ResNet50"):
+            model = get_model(name)
+            schedule = torus44_schedules["ring"]
+            non = nonoverlapped_iteration(model, schedule)
+            over = overlapped_iteration(model, schedule)
+            assert over.total_time <= non.total_time * 1.01
+
+    def test_breakdown_consistency(self, torus44_schedules):
+        model = get_model("ResNet50")
+        b = overlapped_iteration(model, torus44_schedules["ring"])
+        assert b.overlap_time + b.exposed_comm_time == pytest.approx(
+            b.allreduce_time, rel=1e-6
+        )
+        assert b.total_time == pytest.approx(
+            b.compute_time + b.exposed_comm_time, rel=1e-6
+        )
+
+    def test_cnn_hides_most_communication(self, torus44_schedules):
+        model = get_model("AlphaGoZero")
+        b = overlapped_iteration(model, torus44_schedules["ring"])
+        assert b.overlap_time > 0.5 * b.allreduce_time
+
+    def test_ncf_stays_communication_bound(self, torus44_schedules):
+        model = get_model("NCF")
+        b = overlapped_iteration(model, torus44_schedules["ring"])
+        assert b.exposed_comm_time > 0.8 * b.allreduce_time
+
+    def test_reuses_precomputed_calibration(self, torus44_schedules):
+        schedule = torus44_schedules["ring"]
+        cal = CalibratedAllReduce(schedule)
+        model = get_model("GoogLeNet")
+        a = overlapped_iteration(model, schedule, allreduce_model=cal)
+        b = overlapped_iteration(model, schedule)
+        assert a.total_time == pytest.approx(b.total_time, rel=1e-9)

@@ -1,0 +1,40 @@
+"""Tests for tree rendering and forest statistics."""
+
+from repro.analysis import render_forest, render_tree, tree_statistics
+from repro.collectives import build_trees
+from repro.topology import Mesh2D, Torus2D
+
+
+def test_render_contains_all_nodes_and_steps():
+    trees, _ = build_trees(Mesh2D(2, 2))
+    text = render_tree(trees[0])
+    assert text.startswith("T0")
+    for node in (1, 2, 3):
+        assert " %d (t=" % node in text
+
+
+def test_render_indents_depth():
+    trees, _ = build_trees(Torus2D(4, 4))
+    text = render_tree(trees[0])
+    assert "|  " in text or "   " in text  # at least two levels
+
+
+def test_forest_limits_output():
+    trees, _ = build_trees(Torus2D(4, 4))
+    text = render_forest(trees, limit=2)
+    assert "T0" in text and "T1" in text and "T2" not in text
+
+
+def test_statistics_shape():
+    trees, tot_t = build_trees(Torus2D(4, 4))
+    stats = tree_statistics(trees)
+    assert stats["num_trees"] == 16
+    assert 1 <= stats["min_depth"] <= stats["max_depth"] <= tot_t
+    assert 1 <= stats["max_fanout"] <= 4  # torus degree bounds fanout
+    assert 0 < stats["mean_fanout"] <= stats["max_fanout"]
+
+
+def test_statistics_empty_edges():
+    stats = tree_statistics([])
+    assert stats["num_trees"] == 0
+    assert stats["max_depth"] == 0

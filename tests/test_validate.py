@@ -1,0 +1,109 @@
+"""Tests for the data-level schedule executor/validator."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.collectives import ring_allreduce
+from repro.collectives.schedule import ChunkRange, CommOp, OpKind, Schedule
+from repro.collectives.validate import ScheduleError, execute, verify_allreduce
+from repro.topology import Torus2D
+
+
+def _drop_one_op(schedule: Schedule) -> Schedule:
+    return Schedule(
+        topology=schedule.topology,
+        ops=schedule.ops[:-1],
+        algorithm=schedule.algorithm + "-broken",
+    )
+
+
+def _corrupt_gather_source(schedule: Schedule) -> Schedule:
+    """Repoint the first gather's source to a node holding only a partial."""
+    ops = list(schedule.ops)
+    for i, op in enumerate(ops):
+        if op.kind is OpKind.GATHER:
+            wrong_src = (op.src + 2) % schedule.topology.num_nodes
+            if wrong_src == op.dst:
+                wrong_src = (wrong_src + 1) % schedule.topology.num_nodes
+            ops[i] = CommOp(op.kind, wrong_src, op.dst, op.chunk, op.step, op.flow)
+            break
+    return Schedule(
+        topology=schedule.topology,
+        ops=ops,
+        algorithm=schedule.algorithm + "-corrupt",
+    )
+
+
+def test_correct_schedule_passes():
+    verify_allreduce(ring_allreduce(Torus2D(2, 2)))
+
+
+def test_missing_op_detected():
+    broken = _drop_one_op(ring_allreduce(Torus2D(2, 2)))
+    with pytest.raises(ScheduleError):
+        verify_allreduce(broken)
+
+
+def test_partial_gather_source_detected():
+    broken = _corrupt_gather_source(ring_allreduce(Torus2D(2, 2)))
+    with pytest.raises(ScheduleError):
+        verify_allreduce(broken)
+
+
+def test_execute_returns_counts_and_values():
+    schedule = ring_allreduce(Torus2D(2, 2))
+    result = execute(schedule)
+    assert result.correct
+    assert result.counts.shape == (4, 4)
+    assert np.all(result.counts == 4)
+
+
+def test_wrong_input_shape_rejected():
+    schedule = ring_allreduce(Torus2D(2, 2))
+    with pytest.raises(ValueError):
+        execute(schedule, inputs=np.zeros((3, 4), dtype=np.int64))
+
+
+def test_snapshot_semantics_no_same_step_chaining():
+    """A value sent at step t must be the state at the end of step t-1.
+
+    Two reduces of the same chunk in the same step (a -> b and b -> c) must
+    NOT forward a's contribution through b to c within that step.
+    """
+    topo = Torus2D(2, 2)
+    chunk = ChunkRange(Fraction(0), Fraction(1))
+    ops = [
+        CommOp(OpKind.REDUCE, 0, 1, chunk, step=1),
+        CommOp(OpKind.REDUCE, 1, 3, chunk, step=1),
+    ]
+    schedule = Schedule(topology=topo, ops=ops, algorithm="snapshot-test")
+    inputs = np.array([[10], [1], [0], [0]], dtype=np.int64)
+    result = execute(schedule, inputs)
+    # Node 3 got node 1's pre-step value only.
+    assert result.values[3, 0] == 1
+    assert result.counts[3, 0] == 2
+    # Node 1 aggregated node 0.
+    assert result.values[1, 0] == 11
+
+
+def test_gather_overwrites_not_accumulates():
+    topo = Torus2D(2, 2)
+    chunk = ChunkRange(Fraction(0), Fraction(1))
+    ops = [CommOp(OpKind.GATHER, 0, 1, chunk, step=1)]
+    schedule = Schedule(topology=topo, ops=ops, algorithm="gather-test")
+    inputs = np.array([[7], [100], [0], [0]], dtype=np.int64)
+    result = execute(schedule, inputs)
+    assert result.values[1, 0] == 7
+    assert result.counts[1, 0] == 1
+
+
+def test_misrouted_endpoint_detected():
+    topo = Torus2D(2, 2)
+    ops = [
+        CommOp(OpKind.REDUCE, 0, 7, ChunkRange(Fraction(0), Fraction(1)), step=1)
+    ]
+    bad = Schedule(topology=topo, ops=ops, algorithm="endpoint-test")
+    with pytest.raises(ValueError):
+        verify_allreduce(bad)
