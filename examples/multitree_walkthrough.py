@@ -1,15 +1,17 @@
 """Walk through the paper's §III-B example: MULTITREE on a 2x2 Mesh.
 
 Reproduces Fig. 3 (tree construction with link allocation and scheduling)
-and Fig. 5 (the per-accelerator all-reduce schedule tables).
+and Fig. 5 (the per-accelerator all-reduce schedule tables), then traces
+the simulated all-reduce and dumps a Perfetto-loadable timeline.
 
 Run:  python examples/multitree_walkthrough.py
 """
 
 from repro.analysis.trees import render_tree
 from repro.collectives import build_trees, multitree_allreduce
-from repro.ni import build_schedule_tables
+from repro.ni import build_schedule_tables, simulate_allreduce
 from repro.topology import Mesh2D
+from repro.trace import Trace, format_trace_report, write_chrome_trace
 
 
 def main() -> None:
@@ -44,6 +46,14 @@ def main() -> None:
 
     bits = tables[0].storage_bits(mesh.num_nodes)
     print("per-node table storage at this scale: %d bits (%.1f B)" % (bits, bits / 8))
+
+    # -- trace the simulated all-reduce and diagnose it ---------------------
+    trace = Trace()
+    simulate_allreduce(schedule, 4096, recorder=trace)
+    print("\n" + format_trace_report(trace, mesh))
+    out = "multitree_walkthrough_trace.json"
+    write_chrome_trace(trace, out)
+    print("\nwrote %s — open it at https://ui.perfetto.dev" % out)
 
 
 if __name__ == "__main__":

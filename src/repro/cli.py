@@ -5,6 +5,7 @@ Commands
 ``sweep``    all-reduce bandwidth across data sizes (a Fig. 9 panel)
 ``trees``    print MultiTree construction and NI schedule tables (Fig. 3/5)
 ``train``    one training iteration for a DNN workload (Fig. 11 rows)
+``trace``    simulate one all-reduce with full event tracing and diagnosis
 ``table1``   the measured Table I
 ``list``     available topologies, algorithms and DNN models
 """
@@ -12,6 +13,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import List, Optional, Sequence
 
@@ -19,9 +21,10 @@ from .analysis import format_bandwidth_table, format_table1, measure_table1, swe
 from .collectives import ALGORITHMS, build_schedule, build_trees
 from .compute import MODEL_BUILDERS, get_model
 from .network import MessageBased, PacketBased
-from .ni import build_schedule_tables
+from .ni import build_schedule_tables, simulate_allreduce
 from .topology import BiGraph, FatTree, Mesh2D, Ring1D, Torus2D, Torus3D
 from .topology.base import Topology
+from .trace import Trace, format_trace_report, write_chrome_trace
 from .training import nonoverlapped_iteration, overlapped_iteration
 
 KiB = 1024
@@ -34,7 +37,10 @@ TOPOLOGY_HELP = (
 
 
 def parse_topology(kind: str, dims: str) -> Topology:
-    parts = [int(p) for p in dims.lower().split("x")]
+    try:
+        parts = [int(p) for p in dims.lower().split("x")]
+    except ValueError:
+        raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
     builders = {
         "torus": lambda: Torus2D(*parts),
         "mesh": lambda: Mesh2D(*parts),
@@ -53,12 +59,29 @@ def parse_topology(kind: str, dims: str) -> Topology:
         raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
 
 
+def parse_topology_spec(spec: str, dims: Optional[str] = None) -> Topology:
+    """Parse either split form (``torus``, ``4x4``) or combined ``torus-4x4``."""
+    if dims:
+        return parse_topology(spec, dims)
+    kind, sep, joined = spec.partition("-")
+    if not sep:
+        raise SystemExit(
+            "topology %r needs dimensions (e.g. torus-4x4 or --dims 4x4)" % spec
+        )
+    return parse_topology(kind, joined)
+
+
 def parse_size(text: str) -> int:
-    text = text.strip().upper()
-    for suffix, factor in (("K", KiB), ("M", MiB), ("G", 1 << 30)):
-        if text.endswith(suffix):
-            return int(float(text[:-1]) * factor)
-    return int(text)
+    """Parse a byte size: plain int or K/M/G with optional iB/B suffix."""
+    match = re.fullmatch(
+        r"\s*([0-9]*\.?[0-9]+)\s*(?:([KMG])I?)?B?\s*", text, re.IGNORECASE
+    )
+    if not match:
+        raise SystemExit("cannot parse size %r (try e.g. 32K, 16MiB, 1G)" % text)
+    factor = {None: 1, "K": KiB, "M": MiB, "G": 1 << 30}[
+        match.group(2).upper() if match.group(2) else None
+    ]
+    return int(float(match.group(1)) * factor)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -126,6 +149,35 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    topology = parse_topology_spec(args.topology, args.dims)
+    size = parse_size(args.size)
+    algorithm = args.algorithm.strip()
+    if algorithm == "multitree-msg":
+        name, fc = "multitree", MessageBased()
+    else:
+        name = algorithm
+        fc = MessageBased() if args.flow_control == "message" else PacketBased()
+    schedule = build_schedule(name, topology)
+    recorder = Trace()
+    result = simulate_allreduce(
+        schedule, size, fc, lockstep=not args.no_lockstep, recorder=recorder
+    )
+    output = args.output or "trace-%s-%s-%s.json" % (
+        algorithm, args.topology if not args.dims else
+        "%s-%s" % (args.topology, args.dims), args.size,
+    )
+    write_chrome_trace(recorder, output)
+    print(format_trace_report(recorder, topology, top=args.top))
+    print()
+    print(
+        "simulated finish time: %.3f us (%.2f GB/s all-reduce bandwidth)"
+        % (result.time * 1e6, result.bandwidth / 1e9)
+    )
+    print("wrote %s — open it at https://ui.perfetto.dev" % output)
+    return 0
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     print(format_table1(measure_table1()))
     return 0
@@ -168,6 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithms", default="ring,2d-ring,multitree,multitree-msg")
     p.add_argument("--overlap", action="store_true", help="layer-wise all-reduce")
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "trace", help="trace one all-reduce: Perfetto JSON + diagnosis report"
+    )
+    p.add_argument("--algorithm", default="multitree")
+    p.add_argument(
+        "--topology", default="torus-4x4",
+        help="combined form (torus-4x4) or kind alone with --dims",
+    )
+    p.add_argument("--dims", default=None, help=TOPOLOGY_HELP)
+    p.add_argument("--size", default="16MiB", help="all-reduce data size")
+    p.add_argument("--flow-control", choices=("packet", "message"), default="packet")
+    p.add_argument("--no-lockstep", action="store_true", help="disable step gates")
+    p.add_argument("--output", default=None, help="trace JSON path")
+    p.add_argument("--top", type=int, default=8, help="hotspot links to report")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("table1", help="measured Table I")
     p.set_defaults(func=_cmd_table1)

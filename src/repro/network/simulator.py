@@ -22,10 +22,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..topology.base import LinkKey, Topology
 from .flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..trace.events import TraceRecorder
 
 
 @dataclass
@@ -103,7 +106,17 @@ class NetworkSimulator:
         self.topology = topology
         self.flow_control = flow_control
 
-    def run(self, messages: List[Message]) -> SimulationResult:
+    def run(
+        self,
+        messages: List[Message],
+        recorder: Optional["TraceRecorder"] = None,
+    ) -> SimulationResult:
+        """Simulate ``messages``; optionally report events to ``recorder``.
+
+        The recorder observes hop grants and message completions as they
+        are computed (see :mod:`repro.trace`); it never alters the
+        simulation — results are bit-identical with and without one.
+        """
         topo = self.topology
         fc = self.flow_control
 
@@ -145,7 +158,9 @@ class NetworkSimulator:
             timing.ready = ready
 
             wire = fc.wire_bytes(msg.payload_bytes)
-            total_wire += wire * max(1, len(msg.route))
+            # Zero-hop (src == dst) messages traverse no links and put no
+            # bytes on any wire.
+            total_wire += wire * len(msg.route)
             head = ready
             inject = None
             for key in msg.route:
@@ -156,6 +171,8 @@ class NetworkSimulator:
                 grant = max(head, pool[ch])
                 pool[ch] = grant + ser
                 link_busy[key] = link_busy.get(key, 0.0) + ser
+                if recorder is not None:
+                    recorder.hop(idx, key, ch, head, grant, ser)
                 if inject is None:
                     inject = grant
                 head = grant + spec.latency
@@ -172,6 +189,8 @@ class NetworkSimulator:
             timing.inject = inject
             timing.deliver = deliver
             timing.ideal_deliver = ideal
+            if recorder is not None:
+                recorder.message_done(idx, msg, timing, wire)
             finish = max(finish, deliver)
             processed += 1
 

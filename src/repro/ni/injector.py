@@ -15,12 +15,15 @@ same scheduling hardware "for fair comparison" (§V-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from ..collectives.schedule import CommOp, Schedule
 from ..network.flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
 from ..network.simulator import Message, NetworkSimulator, SimulationResult
 from .lockstep import step_gates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..trace.events import TraceRecorder
 
 
 def dependency_lists(schedule: Schedule) -> List[List[int]]:
@@ -83,6 +86,7 @@ def build_messages(
     flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
     lockstep: bool = True,
     scheduling_overhead: float = 0.0,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> List[Message]:
     """Lower schedule ops to simulator messages with deps and gates.
 
@@ -91,9 +95,17 @@ def build_messages(
     this effectively zero (hardware dependency clearing, Fig. 6), while a
     software implementation of the same schedules pays it on every hop of
     every dependency chain (§VII-B).
+
+    Every message's ``tag`` is its :class:`CommOp`, so a trace recorder can
+    attribute simulator events back to the schedule (op kind and lockstep
+    step).  When a ``recorder`` is given, the lockstep gates are reported to
+    it as step-boundary events.
     """
     deps = dependency_lists(schedule)
     gates = step_gates(schedule, data_bytes, flow_control) if lockstep else {}
+    if recorder is not None:
+        for step in sorted(gates):
+            recorder.step_gate(step, gates[step])
     messages = []
     for idx, op in enumerate(schedule.ops):
         messages.append(
@@ -117,12 +129,25 @@ def simulate_allreduce(
     flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
     lockstep: bool = True,
     scheduling_overhead: float = 0.0,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> AllReduceResult:
-    """Simulate one all-reduce of ``data_bytes`` under the given schedule."""
+    """Simulate one all-reduce of ``data_bytes`` under the given schedule.
+
+    Pass a :class:`repro.trace.Trace` as ``recorder`` to capture the full
+    event timeline (hop grants, message lifetimes, lockstep gates) for
+    export and critical-path analysis; ``None`` (the default) simulates
+    with zero observation overhead.
+    """
     if data_bytes <= 0:
         raise ValueError("data_bytes must be positive")
+    if recorder is not None:
+        recorder.meta("algorithm", schedule.algorithm)
+        recorder.meta("topology", schedule.topology.name)
+        recorder.meta("data_bytes", float(data_bytes))
+        recorder.meta("flow_control", flow_control.name)
+        recorder.meta("lockstep", lockstep)
     messages = build_messages(
-        schedule, data_bytes, flow_control, lockstep, scheduling_overhead
+        schedule, data_bytes, flow_control, lockstep, scheduling_overhead, recorder
     )
     sim = NetworkSimulator(schedule.topology, flow_control)
-    return AllReduceResult(schedule, data_bytes, sim.run(messages))
+    return AllReduceResult(schedule, data_bytes, sim.run(messages, recorder))

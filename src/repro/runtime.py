@@ -19,8 +19,9 @@ import numpy as np
 from .collectives import build_schedule
 from .collectives.schedule import OpKind, Schedule
 from .network.flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
-from .ni.injector import simulate_allreduce
+from .ni.injector import AllReduceResult, simulate_allreduce
 from .topology.base import Topology
+from .trace import Trace
 
 
 @dataclass
@@ -107,3 +108,22 @@ class Communicator:
             )
             self._time_cache[data_bytes] = cached
         return cached
+
+    # -- observability ---------------------------------------------------------------
+
+    def trace(self, data_bytes: int) -> Tuple[AllReduceResult, Trace]:
+        """Re-simulate one all-reduce with full event tracing.
+
+        Returns the simulation result and the recorded :class:`Trace`
+        (export it with :func:`repro.trace.write_chrome_trace`, diagnose it
+        with :func:`repro.trace.format_trace_report`).  Deliberately
+        bypasses the timing cache — a cached prediction has no events.
+        """
+        if data_bytes <= 0:
+            raise ValueError("data_bytes must be positive")
+        recorder = Trace()
+        result = simulate_allreduce(
+            self.schedule, data_bytes, self.flow_control, self.lockstep,
+            recorder=recorder,
+        )
+        return result, recorder

@@ -1,0 +1,166 @@
+"""Critical-path extraction through the message dependency DAG.
+
+``finish_time`` of a simulated collective equals the delivery time of its
+last message.  Walking backwards from that message — through the binding
+dependency of each one — yields the chain of messages that actually bound
+the run.  Each chain segment is decomposed *exactly* into the time
+components of the paper's §VI discussion:
+
+* ``lockstep_stall`` — waiting for the step gate (or, for the first
+  message, everything before its readiness) beyond what dependencies
+  required (§IV-A's conservative step estimates),
+* ``sw_overhead`` — the per-dependency receive/scheduling overhead the
+  co-designed NI eliminates (§VII-B),
+* ``queueing`` — FIFO waits for channel grants along the route (contention),
+* ``hop_latency`` — per-hop propagation latency, and
+* ``wire`` — serialization of the payload at the delivering hop.
+
+The decomposition telescopes: the components of all segments sum to the
+simulated ``finish_time`` (each segment spans exactly the interval between
+its predecessor's delivery and its own).  That identity is the correctness
+anchor for the whole trace layer and is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .events import MessageEvent
+from .recorder import Trace
+
+#: Component keys, in presentation order.
+COMPONENTS = ("lockstep_stall", "sw_overhead", "queueing", "hop_latency", "wire")
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One message on the critical path, with its exact time decomposition.
+
+    The segment covers ``[anchor, message.deliver]`` where ``anchor`` is the
+    delivery time of the binding dependency (0.0 for the chain's first
+    message); the five components partition that interval exactly.
+    """
+
+    message: MessageEvent
+    anchor: float
+    lockstep_stall: float
+    sw_overhead: float
+    queueing: float
+    hop_latency: float
+    wire: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.lockstep_stall
+            + self.sw_overhead
+            + self.queueing
+            + self.hop_latency
+            + self.wire
+        )
+
+    def components(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in COMPONENTS}
+
+
+@dataclass
+class CriticalPath:
+    """The binding chain of messages, earliest first."""
+
+    segments: List[PathSegment]
+    finish_time: float
+
+    def component_totals(self) -> Dict[str, float]:
+        totals = {name: 0.0 for name in COMPONENTS}
+        for segment in self.segments:
+            for name in COMPONENTS:
+                totals[name] += getattr(segment, name)
+        return totals
+
+    @property
+    def total(self) -> float:
+        """Sum of all components over all segments (== ``finish_time``)."""
+        return sum(self.component_totals().values())
+
+    def format(self) -> str:
+        """A per-segment table plus the component breakdown."""
+        lines = [
+            "critical path: %d messages bound finish time %.3f us"
+            % (len(self.segments), self.finish_time * 1e6)
+        ]
+        header = "%-26s %10s %10s %10s %10s %10s %10s" % (
+            "message", "stall", "sw-ovh", "queue", "latency", "wire", "deliver",
+        )
+        lines.append(header)
+        for seg in self.segments:
+            lines.append(
+                "%-26s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f"
+                % (
+                    seg.message.label,
+                    seg.lockstep_stall * 1e6,
+                    seg.sw_overhead * 1e6,
+                    seg.queueing * 1e6,
+                    seg.hop_latency * 1e6,
+                    seg.wire * 1e6,
+                    seg.message.deliver * 1e6,
+                )
+            )
+        totals = self.component_totals()
+        lines.append("breakdown of finish time (us / %):")
+        for name in COMPONENTS:
+            value = totals[name]
+            share = 100.0 * value / self.finish_time if self.finish_time else 0.0
+            lines.append("  %-14s %10.3f  %5.1f%%" % (name, value * 1e6, share))
+        lines.append(
+            "  %-14s %10.3f  100.0%%" % ("finish_time", self.finish_time * 1e6)
+        )
+        return "\n".join(lines)
+
+
+def extract_critical_path(trace: Trace) -> CriticalPath:
+    """Walk the binding-dependency chain back from the last delivery."""
+    if not trace.messages:
+        return CriticalPath(segments=[], finish_time=0.0)
+    messages = trace.messages
+    end = max(messages.values(), key=lambda ev: ev.deliver).index
+    segments: List[PathSegment] = []
+    index: Optional[int] = end
+    while index is not None:
+        event = messages[index]
+        hops = trace.hops_of(index)
+        queueing = sum(hop.queue_wait for hop in hops)
+        if hops:
+            wire = hops[-1].serialization
+            # Propagation is the exact residual of the in-flight interval, so
+            # the five components always partition the segment.
+            hop_latency = event.deliver - event.ready - queueing - wire
+        else:  # zero-hop (src == dst): delivered the instant it was ready
+            wire = hop_latency = 0.0
+        # Binding predecessor: the dependency delivered last.  Its delivery
+        # anchors this segment; anything between the (dependency + receive
+        # overhead) and readiness is lockstep-gate stall.
+        pred: Optional[int] = None
+        delivered_deps = [d for d in event.deps if d in messages]
+        if delivered_deps:
+            pred = max(delivered_deps, key=lambda d: messages[d].deliver)
+            anchor = messages[pred].deliver
+            sw_overhead = event.receive_overhead
+        else:
+            anchor = 0.0
+            sw_overhead = 0.0
+        lockstep_stall = event.ready - anchor - sw_overhead
+        segments.append(
+            PathSegment(
+                message=event,
+                anchor=anchor,
+                lockstep_stall=lockstep_stall,
+                sw_overhead=sw_overhead,
+                queueing=queueing,
+                hop_latency=hop_latency,
+                wire=wire,
+            )
+        )
+        index = pred
+    segments.reverse()
+    return CriticalPath(segments=segments, finish_time=messages[end].deliver)

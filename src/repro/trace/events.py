@@ -1,0 +1,153 @@
+"""Typed trace events and the recorder protocol.
+
+The trace layer observes a simulation without participating in it: every
+instrumented component takes an optional ``recorder`` and, when one is
+present, reports what it just computed.  When no recorder is passed the
+instrumentation is a single ``is not None`` test per event site, so the
+default (untraced) simulation path is unchanged — same arithmetic, same
+results.
+
+Four event families cover the paper's §VI diagnosis questions:
+
+* :class:`HopEvent` — one channel grant on one link: when the message head
+  arrived, when a channel was actually granted (the difference is FIFO
+  queueing — contention made visible per hop), and how long the channel was
+  held (wire serialization).  The set of hop events *is* the per-link
+  channel occupancy timeline.
+* :class:`MessageEvent` — the full lifetime of one simulated message
+  (ready/inject/deliver plus the idle-network ``ideal_deliver``), its
+  dependency edges, and the schedule-op metadata carried on the message tag
+  (REDUCE/GATHER kind and lockstep step).
+* :class:`StepGateEvent` — the lockstep injection gate of each schedule
+  step (§IV-A): no message of step ``s`` may inject before ``gate[s]``.
+* :class:`SpanEvent` — a named interval on a coarse timeline track; the
+  training layer uses these for compute (fwd/bwd) and communication phases
+  so compute/comm overlap can be inspected on the same axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..topology.base import LinkKey
+
+
+@dataclass(frozen=True)
+class HopEvent:
+    """One channel grant: message ``message`` holding ``link``/``channel``."""
+
+    message: int
+    link: LinkKey
+    channel: int
+    #: When the message head arrived at this link (readiness for hop 0).
+    arrive: float
+    #: When a channel was granted; ``grant - arrive`` is FIFO queueing.
+    grant: float
+    #: How long the channel is held (wire bytes / link bandwidth).
+    serialization: float
+
+    @property
+    def queue_wait(self) -> float:
+        return self.grant - self.arrive
+
+    @property
+    def release(self) -> float:
+        """When the channel becomes free again."""
+        return self.grant + self.serialization
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """Complete lifetime record of one simulated message."""
+
+    index: int
+    src: int
+    dst: int
+    payload_bytes: float
+    wire_bytes: float
+    route: Tuple[LinkKey, ...]
+    deps: Tuple[int, ...]
+    not_before: float
+    receive_overhead: float
+    ready: float
+    inject: float
+    deliver: float
+    ideal_deliver: float
+    #: Schedule-op metadata harvested from the message tag (when the tag is
+    #: a :class:`repro.collectives.schedule.CommOp`).
+    op_kind: Optional[str] = None
+    op_step: Optional[int] = None
+
+    @property
+    def queue_delay(self) -> float:
+        """Time lost to contention anywhere along the path."""
+        return self.deliver - self.ideal_deliver
+
+    @property
+    def label(self) -> str:
+        core = "m%d %d->%d" % (self.index, self.src, self.dst)
+        if self.op_kind is not None:
+            core = "%s %s" % (self.op_kind, core)
+        if self.op_step is not None:
+            core += " s%d" % self.op_step
+        return core
+
+
+@dataclass(frozen=True)
+class StepGateEvent:
+    """Lockstep gate: earliest injection time of schedule step ``step``."""
+
+    step: int
+    time: float
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A named interval on a coarse timeline track (compute/comm phases)."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Protocol for trace sinks (structural; subclassing is optional).
+
+    Instrumented components call these hooks only when a recorder was
+    passed; every hook is optional behaviour-wise — a sink interested only
+    in hop events may implement the rest as no-ops.  :class:`repro.trace.Trace`
+    is the standard in-memory implementation.
+    """
+
+    def hop(
+        self,
+        index: int,
+        link: LinkKey,
+        channel: int,
+        arrive: float,
+        grant: float,
+        serialization: float,
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def message_done(
+        self, index: int, message: object, timing: object, wire_bytes: float
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def step_gate(self, step: int, time: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def span(
+        self, track: str, name: str, start: float, end: float
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def meta(self, key: str, value: object) -> None:  # pragma: no cover
+        raise NotImplementedError

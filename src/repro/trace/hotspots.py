@@ -1,0 +1,148 @@
+"""Contention hotspots and per-step link-utilization heatmap.
+
+Both analyses read the per-link channel-occupancy intervals a
+:class:`repro.trace.Trace` collected:
+
+* :func:`link_hotspots` ranks links by the total FIFO queueing their
+  traffic accrued — the dynamic counterpart of the schedule-level
+  ``max_step_link_overlap`` witness, and the simulator's answer to "which
+  hop is the bottleneck?" (§VI-B's serialization argument).
+* :func:`utilization_heatmap` renders an ASCII links x steps grid of busy
+  fraction per lockstep step window, making lockstep stalls (idle columns)
+  and contention (saturated cells) visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..topology.base import LinkKey, Topology
+from .events import HopEvent
+from .recorder import Trace
+
+#: Heatmap glyphs, idle to saturated.
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class LinkHotspot:
+    """Aggregate contention observed on one link."""
+
+    link: LinkKey
+    #: Total FIFO queue wait accrued by messages at this link.
+    queue_wait: float
+    #: How many channel grants were delayed (granted after head arrival).
+    delayed_grants: int
+    #: Number of channel grants (messages that crossed the link).
+    grants: int
+    #: Total channel-hold (serialization) time on the link.
+    busy_time: float
+
+    def format(self) -> str:
+        return "%-12s queue %9.3f us over %2d/%2d grants, busy %9.3f us" % (
+            "%d->%d" % self.link,
+            self.queue_wait * 1e6,
+            self.delayed_grants,
+            self.grants,
+            self.busy_time * 1e6,
+        )
+
+
+def link_hotspots(trace: Trace, top: Optional[int] = None) -> List[LinkHotspot]:
+    """Links ranked by total queueing delay (worst first)."""
+    spots: List[LinkHotspot] = []
+    for link, events in trace.link_occupancy().items():
+        spots.append(
+            LinkHotspot(
+                link=link,
+                queue_wait=sum(ev.queue_wait for ev in events),
+                delayed_grants=sum(1 for ev in events if ev.queue_wait > 0),
+                grants=len(events),
+                busy_time=sum(ev.serialization for ev in events),
+            )
+        )
+    spots.sort(key=lambda s: (-s.queue_wait, -s.busy_time, s.link))
+    return spots if top is None else spots[:top]
+
+
+def format_hotspots(trace: Trace, top: int = 8) -> str:
+    spots = link_hotspots(trace, top=top)
+    if not spots:
+        return "contention hotspots: (no traffic)"
+    contended = [s for s in spots if s.queue_wait > 0]
+    if not contended:
+        return "contention hotspots: none (no queueing anywhere — contention-free run)"
+    lines = ["top %d contention hotspots (by total queue wait):" % len(contended)]
+    lines.extend("  " + spot.format() for spot in contended)
+    return "\n".join(lines)
+
+
+def _step_windows(trace: Trace) -> List[Tuple[str, float, float]]:
+    """(label, start, end) windows: lockstep steps, or equal-width bins."""
+    finish = trace.finish_time
+    gates = sorted(trace.step_gate_times().items())
+    if gates:
+        windows = []
+        for pos, (step, start) in enumerate(gates):
+            end = gates[pos + 1][1] if pos + 1 < len(gates) else finish
+            if end > start:
+                windows.append(("s%d" % step, start, end))
+        return windows
+    bins = 12
+    width = finish / bins if finish > 0 else 0.0
+    return [
+        ("t%d" % i, i * width, (i + 1) * width) for i in range(bins) if width > 0
+    ]
+
+
+def _busy_in_window(events: List[HopEvent], start: float, end: float) -> float:
+    return sum(
+        max(0.0, min(ev.release, end) - max(ev.grant, start)) for ev in events
+    )
+
+
+def utilization_heatmap(
+    trace: Trace,
+    topology: Optional[Topology] = None,
+    max_links: int = 40,
+) -> str:
+    """ASCII heatmap: one row per link, one column per lockstep step.
+
+    Cell shade is the link's busy fraction within that step's time window
+    (normalized by channel capacity when a ``topology`` is supplied).  The
+    busiest ``max_links`` links are shown; without lockstep gates the time
+    axis falls back to equal-width bins.
+    """
+    occupancy = trace.link_occupancy()
+    windows = _step_windows(trace)
+    if not occupancy or not windows:
+        return "link utilization heatmap: (no traffic)"
+    links = sorted(
+        occupancy,
+        key=lambda key: -sum(ev.serialization for ev in occupancy[key]),
+    )
+    clipped = len(links) > max_links
+    links = sorted(links[:max_links])
+    lines = [
+        "link utilization per %s (rows: %d%s links, shade = busy fraction):"
+        % (
+            "lockstep step" if trace.gates else "time bin",
+            len(links),
+            " busiest" if clipped else "",
+        ),
+        "%-12s %s" % ("", " ".join("%-3s" % label for label, _, _ in windows)),
+    ]
+    for link in links:
+        capacity = topology.link(*link).capacity if topology is not None else max(
+            (ev.channel for ev in occupancy[link]), default=0
+        ) + 1
+        cells = []
+        for _label, start, end in windows:
+            fraction = _busy_in_window(occupancy[link], start, end) / (
+                (end - start) * capacity
+            )
+            shade = _SHADES[min(len(_SHADES) - 1, int(fraction * len(_SHADES)))]
+            cells.append(shade * 3)
+        lines.append("%-12s %s" % ("%d->%d" % link, " ".join(cells)))
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""The standard in-memory trace sink.
+
+:class:`Trace` implements the :class:`repro.trace.events.TraceRecorder`
+hooks by accumulating typed events, and adds the query helpers the
+analysis and export layers are built on: per-message hop sequences,
+per-link occupancy timelines, lockstep gates, and a plain-``dict`` form
+for serialization or ad-hoc inspection.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from ..topology.base import LinkKey
+from .events import HopEvent, MessageEvent, SpanEvent, StepGateEvent, TraceRecorder
+
+
+class Trace(TraceRecorder):
+    """Accumulates simulation events for later export and analysis."""
+
+    def __init__(self) -> None:
+        self.messages: Dict[int, MessageEvent] = {}
+        self.hops: List[HopEvent] = []
+        self.gates: List[StepGateEvent] = []
+        self.spans: List[SpanEvent] = []
+        self.metadata: Dict[str, object] = {}
+        self._hops_by_message: Dict[int, List[HopEvent]] = defaultdict(list)
+
+    # -- recorder hooks -------------------------------------------------------
+
+    def hop(
+        self,
+        index: int,
+        link: LinkKey,
+        channel: int,
+        arrive: float,
+        grant: float,
+        serialization: float,
+    ) -> None:
+        event = HopEvent(index, link, channel, arrive, grant, serialization)
+        self.hops.append(event)
+        self._hops_by_message[index].append(event)
+
+    def message_done(
+        self, index: int, message: object, timing: object, wire_bytes: float
+    ) -> None:
+        tag = getattr(message, "tag", None)
+        kind = getattr(tag, "kind", None)
+        self.messages[index] = MessageEvent(
+            index=index,
+            src=message.src,
+            dst=message.dst,
+            payload_bytes=message.payload_bytes,
+            wire_bytes=wire_bytes,
+            route=tuple(message.route),
+            deps=tuple(message.deps),
+            not_before=message.not_before,
+            receive_overhead=message.receive_overhead,
+            ready=timing.ready,
+            inject=timing.inject,
+            deliver=timing.deliver,
+            ideal_deliver=timing.ideal_deliver,
+            op_kind=getattr(kind, "value", None),
+            op_step=getattr(tag, "step", None),
+        )
+
+    def step_gate(self, step: int, time: float) -> None:
+        self.gates.append(StepGateEvent(step, time))
+
+    def span(self, track: str, name: str, start: float, end: float) -> None:
+        self.spans.append(SpanEvent(track, name, start, end))
+
+    def meta(self, key: str, value: object) -> None:
+        self.metadata[key] = value
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def finish_time(self) -> float:
+        """Latest timestamp recorded on any timeline."""
+        ends = [ev.deliver for ev in self.messages.values()]
+        ends.extend(span.end for span in self.spans)
+        ends.extend(gate.time for gate in self.gates)
+        return max(ends, default=0.0)
+
+    def hops_of(self, index: int) -> List[HopEvent]:
+        """A message's hop events, in route order."""
+        return list(self._hops_by_message.get(index, ()))
+
+    def link_occupancy(self) -> Dict[LinkKey, List[HopEvent]]:
+        """Per-link channel occupancy intervals, in grant order."""
+        by_link: Dict[LinkKey, List[HopEvent]] = defaultdict(list)
+        for event in self.hops:
+            by_link[event.link].append(event)
+        return {
+            key: sorted(events, key=lambda e: (e.grant, e.channel))
+            for key, events in by_link.items()
+        }
+
+    def step_gate_times(self) -> Dict[int, float]:
+        return {gate.step: gate.time for gate in self.gates}
+
+    def total_queue_wait(self) -> float:
+        """Total FIFO queueing accrued over all hops of all messages."""
+        return sum(event.queue_wait for event in self.hops)
+
+    # -- plain-dict form ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly plain-dict form of the whole trace."""
+        return {
+            "metadata": dict(self.metadata),
+            "finish_time": self.finish_time,
+            "messages": [
+                {
+                    "index": ev.index,
+                    "src": ev.src,
+                    "dst": ev.dst,
+                    "payload_bytes": ev.payload_bytes,
+                    "wire_bytes": ev.wire_bytes,
+                    "route": [list(key) for key in ev.route],
+                    "deps": list(ev.deps),
+                    "ready": ev.ready,
+                    "inject": ev.inject,
+                    "deliver": ev.deliver,
+                    "ideal_deliver": ev.ideal_deliver,
+                    "queue_delay": ev.queue_delay,
+                    "op_kind": ev.op_kind,
+                    "op_step": ev.op_step,
+                }
+                for ev in sorted(self.messages.values(), key=lambda e: e.index)
+            ],
+            "hops": [
+                {
+                    "message": ev.message,
+                    "link": list(ev.link),
+                    "channel": ev.channel,
+                    "arrive": ev.arrive,
+                    "grant": ev.grant,
+                    "serialization": ev.serialization,
+                    "queue_wait": ev.queue_wait,
+                }
+                for ev in self.hops
+            ],
+            "step_gates": [
+                {"step": gate.step, "time": gate.time} for gate in self.gates
+            ],
+            "spans": [
+                {
+                    "track": span.track,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                }
+                for span in self.spans
+            ],
+        }

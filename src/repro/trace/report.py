@@ -1,0 +1,56 @@
+"""Combined plain-text diagnosis report for one traced simulation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..topology.base import Topology
+from .critical_path import extract_critical_path
+from .hotspots import format_hotspots, utilization_heatmap
+from .recorder import Trace
+
+
+def format_trace_report(
+    trace: Trace,
+    topology: Optional[Topology] = None,
+    top: int = 8,
+    max_links: int = 40,
+) -> str:
+    """Critical path + hotspots + per-step heatmap, ready to print."""
+    sections = []
+    if trace.metadata:
+        sections.append(
+            "trace: "
+            + ", ".join("%s=%s" % (k, v) for k, v in sorted(trace.metadata.items()))
+        )
+    delivered = trace.messages.values()
+    if delivered:
+        sections.append(
+            "%d messages, %d link grants, finish time %.3f us, "
+            "total queue wait %.3f us"
+            % (
+                len(trace.messages),
+                len(trace.hops),
+                trace.finish_time * 1e6,
+                trace.total_queue_wait() * 1e6,
+            )
+        )
+    path = extract_critical_path(trace)
+    if path.segments:
+        sections.append(path.format())
+    sections.append(format_hotspots(trace, top=top))
+    sections.append(utilization_heatmap(trace, topology=topology, max_links=max_links))
+    if trace.spans:
+        sections.append("phase spans:")
+        for span in sorted(trace.spans, key=lambda s: (s.start, s.track)):
+            sections.append(
+                "  %-8s %-24s %10.3f .. %10.3f us (%8.3f us)"
+                % (
+                    span.track,
+                    span.name,
+                    span.start * 1e6,
+                    span.end * 1e6,
+                    span.duration * 1e6,
+                )
+            )
+    return "\n\n".join(sections)

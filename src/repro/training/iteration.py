@@ -20,13 +20,16 @@ in the data size, so the two-point fit is essentially exact while making
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..collectives.schedule import Schedule
 from ..compute.models import DNNModel
 from ..compute.systolic import Accelerator
 from ..network.flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
 from ..ni.injector import simulate_allreduce
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..trace.events import TraceRecorder
 
 KiB = 1024
 MiB = 1024 * 1024
@@ -88,13 +91,27 @@ def nonoverlapped_iteration(
     accelerator: Optional[Accelerator] = None,
     flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
     lockstep: bool = True,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> IterationBreakdown:
-    """fwd + bwd compute followed by one whole-model all-reduce."""
+    """fwd + bwd compute followed by one whole-model all-reduce.
+
+    A ``recorder`` receives the iteration's compute and communication
+    phases as timeline spans (see :mod:`repro.trace`).
+    """
     acc = accelerator or Accelerator()
     compute = acc.iteration_compute_time(model.layers)
     comm = simulate_allreduce(
         schedule, model.gradient_bytes, flow_control, lockstep
     ).time
+    if recorder is not None:
+        recorder.meta("model", model.name)
+        recorder.meta("execution", "non-overlapped")
+        forward = acc.forward_time(model.layers)
+        recorder.span("compute", "forward", 0.0, forward)
+        recorder.span("compute", "backward", forward, compute)
+        recorder.span(
+            "comm", "all-reduce (%s)" % schedule.algorithm, compute, compute + comm
+        )
     return IterationBreakdown(
         model=model.name,
         algorithm=schedule.algorithm,
@@ -113,26 +130,43 @@ def overlapped_iteration(
     flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
     lockstep: bool = True,
     allreduce_model: Optional[CalibratedAllReduce] = None,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> IterationBreakdown:
     """Layer-wise all-reduce racing the backward pass (Fig. 11b).
 
     Backward runs over layers in reverse; each weighted layer's gradient is
     queued for all-reduce the moment its backward step completes, and the
     network processes queued all-reduces FIFO, one at a time.
+
+    A ``recorder`` receives one compute span per backward layer and one
+    comm span per layer-wise all-reduce, so the overlap structure can be
+    inspected on a Perfetto timeline (see :mod:`repro.trace`).
     """
     acc = accelerator or Accelerator()
     cal = allreduce_model or CalibratedAllReduce(schedule, flow_control, lockstep)
 
     forward = acc.forward_time(model.layers)
+    if recorder is not None:
+        recorder.meta("model", model.name)
+        recorder.meta("execution", "overlapped")
+        recorder.span("compute", "forward", 0.0, forward)
     clock = forward
     comm_free_at = 0.0
     intervals: List[Tuple[float, float]] = []
     for layer in reversed(model.layers):
+        bwd_start = clock
         clock += acc.layer_backward_time(layer)
+        if recorder is not None:
+            recorder.span("compute", "bwd %s" % layer.name, bwd_start, clock)
         if not layer.has_weights:
             continue
         start = max(clock, comm_free_at)
         end = start + cal.time(layer.gradient_bytes)
+        if recorder is not None:
+            recorder.span(
+                "comm", "all-reduce %s (%s)" % (layer.name, schedule.algorithm),
+                start, end,
+            )
         intervals.append((start, end))
         comm_free_at = end
     compute_end = clock

@@ -58,6 +58,25 @@ class TestTiming:
         b = comm.predict(1 << 20)
         assert a is b
 
+    def test_prediction_cache_skips_resimulation(self, monkeypatch):
+        import repro.runtime as runtime_mod
+
+        calls = []
+        real = runtime_mod.simulate_allreduce
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "simulate_allreduce", counting)
+        comm = Communicator(Torus2D(2, 2))
+        first = comm.predict(1 << 16)
+        second = comm.predict(1 << 16)
+        assert first is second
+        assert len(calls) == 1  # the repeat came from the cache
+        comm.predict(1 << 17)  # a new size does simulate
+        assert len(calls) == 2
+
     def test_bad_bytes_rejected(self):
         with pytest.raises(ValueError):
             Communicator(Torus2D(2, 2)).predict(0)

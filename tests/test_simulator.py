@@ -108,6 +108,25 @@ class TestDependencies:
         with pytest.raises(RuntimeError, match="deadlock"):
             sim.run(msgs)
 
+    def test_deadlock_reports_stuck_message_indices(self):
+        # The cycle {1, 2} never becomes ready; message 0 still completes.
+        sim = _sim()
+        msgs = [
+            Message(0, 1, 1024, route=[(0, 1)]),
+            Message(1, 2, 1024, route=[(1, 2)], deps=[2]),
+            Message(2, 3, 1024, route=[(2, 3)], deps=[1]),
+        ]
+        with pytest.raises(RuntimeError) as exc:
+            sim.run(msgs)
+        text = str(exc.value)
+        assert "2 messages" in text
+        assert "[1, 2]" in text
+
+    def test_deadlock_on_self_dependency(self):
+        sim = _sim()
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run([Message(0, 1, 1024, route=[(0, 1)], deps=[0])])
+
     def test_readiness_order_respected(self):
         """An unlocked-later but earlier-ready message wins FIFO arbitration."""
         sim = _sim()
@@ -151,3 +170,68 @@ class TestStatistics:
         res = _sim().run([])
         assert res.finish_time == 0.0
         assert res.max_queue_delay() == 0.0
+
+
+class TestWireAccounting:
+    def test_zero_hop_message_puts_no_bytes_on_wire(self):
+        # src == dst: no links traversed, so no wire bytes are charged.
+        res = _sim().run([Message(0, 0, 16 * 1024, route=[])])
+        assert res.total_wire_bytes == 0.0
+        assert res.finish_time == 0.0
+        assert res.link_busy == {}
+
+    def test_wire_bytes_charged_once_per_traversed_link(self):
+        topo = Torus2D(4, 4)
+        sim = _sim(topo)
+        size = 16 * 1024
+        route = topo.route(0, 2)
+        assert len(route) == 2
+        res = sim.run([Message(0, 2, size, route=route)])
+        assert res.total_wire_bytes == pytest.approx(size * 2)
+
+    def test_mixed_zero_and_multi_hop(self):
+        topo = Torus2D(4, 4)
+        sim = _sim(topo)
+        size = 16 * 1024
+        res = sim.run(
+            [
+                Message(0, 0, size, route=[]),
+                Message(0, 1, size, route=[(0, 1)]),
+            ]
+        )
+        assert res.total_wire_bytes == pytest.approx(size)
+
+
+class TestUtilizationEdgeCases:
+    def test_zero_finish_time_yields_zero_utilization(self):
+        # Only a zero-hop message: finish time is 0; no division blow-up.
+        topo = Torus2D(2, 4)
+        res = NetworkSimulator(topo, IdealFlow()).run(
+            [Message(0, 0, 1024, route=[])]
+        )
+        assert res.finish_time == 0.0
+        assert res.link_utilization(topo) == {}
+        assert res.mean_link_utilization(topo) == 0.0
+
+    def test_empty_run_zero_utilization(self):
+        topo = Torus2D(4, 4)
+        res = NetworkSimulator(topo, IdealFlow()).run([])
+        assert res.link_utilization(topo) == {}
+        assert res.mean_link_utilization(topo) == 0.0
+
+    def test_mean_counts_idle_links(self):
+        # One busy link out of the whole torus: the mean is the per-link
+        # utilization scaled down by the idle rest of the topology.
+        topo = Torus2D(4, 4)
+        res = NetworkSimulator(topo, IdealFlow()).run(
+            [Message(0, 1, 16 * 1024, route=[(0, 1)])]
+        )
+        util = res.link_utilization(topo)
+        assert set(util) == {(0, 1)}
+        expected_mean = (
+            util[(0, 1)]
+            * topo.link(0, 1).capacity
+            / topo.total_link_capacity()
+        )
+        assert res.mean_link_utilization(topo) == pytest.approx(expected_mean)
+        assert res.mean_link_utilization(topo) < util[(0, 1)]
