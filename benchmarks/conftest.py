@@ -10,9 +10,31 @@ without re-running multi-minute experiments dozens of times.
 from __future__ import annotations
 
 import os
-from typing import Callable
+from typing import Callable, Optional
+
+import pytest
+
+from repro.sweep import PredictionCache
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+#: Set this env var to a file path to persist figure predictions across
+#: benchmark runs (repeat runs then replay warm points from disk instead
+#: of re-simulating; the key embeds topology/algorithm/flow-control/size/
+#: lockstep plus the cache schema version, so stale hits are impossible).
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+
+@pytest.fixture(scope="session")
+def prediction_cache() -> Optional[PredictionCache]:
+    """Session-wide prediction cache, enabled via ``REPRO_SWEEP_CACHE``."""
+    path = os.environ.get(CACHE_ENV)
+    if not path:
+        yield None
+        return
+    cache = PredictionCache(path)
+    yield cache
+    cache.save()
 
 
 def emit(title: str, body: str) -> None:

@@ -10,7 +10,7 @@ from conftest import emit, run_once
 
 from repro.collectives import build_schedule
 from repro.network import MessageBased, PacketBased
-from repro.ni import simulate_allreduce
+from repro.sweep import predict_cached
 from repro.topology import Torus2D
 
 KiB = 1024
@@ -18,26 +18,26 @@ KiB = 1024
 SCALES = [(4, 4), (4, 8), (8, 8), (8, 16), (16, 16)]  # 16 .. 256 nodes
 
 
-def _measure():
+def _measure(cache=None):
     rows = []
     for dims in SCALES:
         topo = Torus2D(*dims)
         size = 375 * KiB * topo.num_nodes
-        t_ring = simulate_allreduce(
-            build_schedule("ring", topo), size, PacketBased()
-        ).time
-        t_2d = simulate_allreduce(
-            build_schedule("2d-ring", topo), size, PacketBased()
-        ).time
-        t_mtm = simulate_allreduce(
-            build_schedule("multitree", topo), size, MessageBased()
-        ).time
+        t_ring = predict_cached(
+            build_schedule("ring", topo), size, PacketBased(), cache=cache
+        )["time"]
+        t_2d = predict_cached(
+            build_schedule("2d-ring", topo), size, PacketBased(), cache=cache
+        )["time"]
+        t_mtm = predict_cached(
+            build_schedule("multitree", topo), size, MessageBased(), cache=cache
+        )["time"]
         rows.append((topo.num_nodes, t_ring, t_2d, t_mtm))
     return rows
 
 
-def test_fig10_weak_scaling(benchmark):
-    rows = run_once(benchmark, _measure)
+def test_fig10_weak_scaling(benchmark, prediction_cache):
+    rows = run_once(benchmark, lambda: _measure(prediction_cache))
     base = rows[0][1]  # RING at 16 nodes
     lines = ["%6s %12s %12s %15s   (times normalized to 16-node RING)"
              % ("nodes", "ring", "2d-ring", "multitree-msg")]

@@ -9,9 +9,10 @@ MULTITREE under message-based flow control.
 import pytest
 from conftest import emit, run_once
 
-from repro.analysis import format_bandwidth_table, sweep_bandwidth
+from repro.analysis import format_bandwidth_table
 from repro.collectives import build_schedule
 from repro.network import MessageBased, PacketBased
+from repro.sweep import sweep_bandwidth_cached
 from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
 
 KiB = 1024
@@ -19,14 +20,18 @@ MiB = 1 << 20
 SIZES = [32 * KiB, 128 * KiB, 512 * KiB, 2 * MiB, 8 * MiB, 32 * MiB, 64 * MiB]
 
 
-def _panel(topology, algorithms):
+def _panel(topology, algorithms, cache=None):
     sweeps = []
     for algorithm in algorithms:
         schedule = build_schedule(algorithm, topology)
-        sweeps.append(sweep_bandwidth(schedule, SIZES, PacketBased()))
+        sweeps.append(
+            sweep_bandwidth_cached(schedule, SIZES, PacketBased(), cache=cache)
+        )
     mt = build_schedule("multitree", topology)
     sweeps.append(
-        sweep_bandwidth(mt, SIZES, MessageBased(), label="multitree-msg")
+        sweep_bandwidth_cached(
+            mt, SIZES, MessageBased(), cache=cache, label="multitree-msg"
+        )
     )
     return sweeps
 
@@ -41,10 +46,13 @@ def _assert_multitree_dominates(sweeps):
 
 class TestFig9aTorus:
     @pytest.mark.parametrize("dims", [(4, 4), (8, 8)], ids=["4x4", "8x8"])
-    def test_torus(self, benchmark, dims):
+    def test_torus(self, benchmark, dims, prediction_cache):
         topo = Torus2D(*dims)
         sweeps = run_once(
-            benchmark, lambda: _panel(topo, ["ring", "dbtree", "2d-ring", "multitree"])
+            benchmark,
+            lambda: _panel(
+                topo, ["ring", "dbtree", "2d-ring", "multitree"], prediction_cache
+            ),
         )
         emit(
             "Fig. 9a — All-reduce bandwidth on %s" % topo.name,
@@ -64,10 +72,13 @@ class TestFig9aTorus:
 
 class TestFig9bMesh:
     @pytest.mark.parametrize("dims", [(4, 4), (8, 8)], ids=["4x4", "8x8"])
-    def test_mesh(self, benchmark, dims):
+    def test_mesh(self, benchmark, dims, prediction_cache):
         topo = Mesh2D(*dims)
         sweeps = run_once(
-            benchmark, lambda: _panel(topo, ["ring", "dbtree", "2d-ring", "multitree"])
+            benchmark,
+            lambda: _panel(
+                topo, ["ring", "dbtree", "2d-ring", "multitree"], prediction_cache
+            ),
         )
         emit(
             "Fig. 9b — All-reduce bandwidth on %s" % topo.name,
@@ -87,10 +98,11 @@ class TestFig9cFatTree:
     @pytest.mark.parametrize(
         "cfg", [(4, 4), (8, 8)], ids=["16n-dgx2", "64n-8ary"]
     )
-    def test_fattree(self, benchmark, cfg):
+    def test_fattree(self, benchmark, cfg, prediction_cache):
         topo = FatTree(*cfg)
         sweeps = run_once(
-            benchmark, lambda: _panel(topo, ["ring", "dbtree", "multitree"])
+            benchmark,
+            lambda: _panel(topo, ["ring", "dbtree", "multitree"], prediction_cache),
         )
         emit(
             "Fig. 9c — All-reduce bandwidth on %s" % topo.name,
@@ -106,10 +118,13 @@ class TestFig9cFatTree:
 
 class TestFig9dBiGraph:
     @pytest.mark.parametrize("cfg", [(2, 8), (2, 16)], ids=["32n", "64n"])
-    def test_bigraph(self, benchmark, cfg):
+    def test_bigraph(self, benchmark, cfg, prediction_cache):
         topo = BiGraph(*cfg)
         sweeps = run_once(
-            benchmark, lambda: _panel(topo, ["ring", "dbtree", "hdrm", "multitree"])
+            benchmark,
+            lambda: _panel(
+                topo, ["ring", "dbtree", "hdrm", "multitree"], prediction_cache
+            ),
         )
         emit(
             "Fig. 9d — All-reduce bandwidth on %s" % topo.name,

@@ -1,0 +1,286 @@
+"""Micro-benchmark harness tracking the fast-path performance trajectory.
+
+Three benchmarks cover the three optimized strata:
+
+* ``construction`` — MultiTree spanning-tree construction (Algorithm 1);
+* ``simulate``     — the discrete-event simulator inner loop on a fixed,
+  pre-lowered message set;
+* ``end_to_end``   — a Fig. 9-style cold-cache prediction sweep: schedule
+  construction plus one simulated all-reduce per data size.
+
+Each benchmark times the optimized implementation against the seed
+implementation preserved in :mod:`repro.bench.reference` *in the same
+process on the same machine*, so the recorded ``speedup`` figures are
+hardware-independent and comparable across runs and hosts.  Reports are
+written as ``BENCH_<date>.json``; :func:`compare_to_baseline` flags
+regressions against a committed baseline report (CI runs it via
+``repro bench --quick --baseline ...``).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..collectives import build_schedule
+from ..collectives.multitree import build_trees
+from ..network.flowcontrol import PacketBased
+from ..network.simulator import NetworkSimulator
+from ..ni.injector import build_messages, simulate_allreduce
+from ..topology import Torus2D
+from .reference import (
+    reference_build_trees,
+    reference_multitree_schedule,
+    reference_run,
+    reference_simulate_allreduce,
+)
+
+KiB = 1024
+MiB = 1 << 20
+
+#: Bumped when benchmark definitions change incompatibly; baselines with a
+#: different schema are rejected rather than silently compared.
+BENCH_SCHEMA_VERSION = 1
+
+#: Fig. 9 size axis used by the end-to-end benchmark.
+FIG9_SIZES = (
+    32 * KiB, 128 * KiB, 512 * KiB, 2 * MiB, 8 * MiB, 32 * MiB, 64 * MiB
+)
+
+
+@dataclass
+class BenchResult:
+    """One optimized-vs-reference measurement."""
+
+    name: str
+    optimized_s: float
+    reference_s: float
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_s <= 0:
+            return float("inf")
+        return self.reference_s / self.optimized_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "optimized_s": self.optimized_s,
+            "reference_s": self.reference_s,
+            "speedup": self.speedup,
+            "meta": dict(self.meta),
+        }
+
+
+def _best_of(func: Callable[[], object], repeat: int) -> float:
+    """Minimum wall-clock over ``repeat`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_construction(dims: Tuple[int, int], repeat: int = 1) -> BenchResult:
+    """Time MultiTree construction on a ``dims`` torus, both paths."""
+    topo = Torus2D(*dims)
+    # Cross-check once outside the timed region: same step count and the
+    # same number of edges per tree (full equivalence lives in the golden
+    # tests; this guards the benchmark against comparing different work).
+    fast_trees, fast_tot = build_trees(topo)
+    ref_trees, ref_tot = reference_build_trees(topo)
+    if fast_tot != ref_tot or any(
+        f.edges != r.edges for f, r in zip(fast_trees, ref_trees)
+    ):
+        raise RuntimeError("optimized construction diverged from reference")
+    optimized = _best_of(lambda: build_trees(topo), repeat)
+    reference = _best_of(lambda: reference_build_trees(topo), repeat)
+    return BenchResult(
+        name="construction",
+        optimized_s=optimized,
+        reference_s=reference,
+        meta={"topology": topo.name, "nodes": topo.num_nodes, "tot_t": fast_tot},
+    )
+
+
+def bench_simulate(
+    dims: Tuple[int, int], data_bytes: int = 8 * MiB, repeat: int = 3
+) -> BenchResult:
+    """Time the simulator inner loop on a fixed multitree message set."""
+    topo = Torus2D(*dims)
+    fc = PacketBased()
+    schedule = build_schedule("multitree", topo)
+    messages = build_messages(schedule, data_bytes, fc)
+    sim = NetworkSimulator(topo, fc)
+    fast = sim.run(messages)
+    ref = reference_run(topo, fc, messages)
+    if fast.finish_time != ref.finish_time:
+        raise RuntimeError("optimized simulator diverged from reference")
+    optimized = _best_of(lambda: sim.run(messages), repeat)
+    reference = _best_of(lambda: reference_run(topo, fc, messages), repeat)
+    return BenchResult(
+        name="simulate",
+        optimized_s=optimized,
+        reference_s=reference,
+        meta={
+            "topology": topo.name,
+            "messages": len(messages),
+            "data_bytes": data_bytes,
+        },
+    )
+
+
+def bench_end_to_end(
+    dims: Tuple[int, int],
+    sizes: Sequence[int] = FIG9_SIZES,
+    repeat: int = 1,
+) -> BenchResult:
+    """Time a cold-cache Fig. 9-style predict sweep, both pipelines.
+
+    Cold cache means every timed run pays schedule construction plus the
+    full lowering (dependencies, gates, routes) — exactly what a fresh
+    figure-script invocation pays.
+    """
+    topo = Torus2D(*dims)
+    fc = PacketBased()
+
+    def optimized_sweep() -> List[float]:
+        schedule = build_schedule("multitree", topo)
+        return [
+            simulate_allreduce(schedule, size, fc).time for size in sizes
+        ]
+
+    def reference_sweep() -> List[float]:
+        schedule = reference_multitree_schedule(topo)
+        return [
+            reference_simulate_allreduce(schedule, size, fc).finish_time
+            for size in sizes
+        ]
+
+    if optimized_sweep() != reference_sweep():
+        raise RuntimeError("optimized predict pipeline diverged from reference")
+    optimized = _best_of(optimized_sweep, repeat)
+    reference = _best_of(reference_sweep, repeat)
+    return BenchResult(
+        name="end_to_end",
+        optimized_s=optimized,
+        reference_s=reference,
+        meta={
+            "topology": topo.name,
+            "sizes": list(sizes),
+            "algorithm": "multitree",
+        },
+    )
+
+
+def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, object]:
+    """Run the full harness; ``quick`` shrinks topologies for CI smoke runs."""
+    if quick:
+        reps = repeat if repeat is not None else 3
+        results = [
+            bench_construction((8, 8), repeat=reps),
+            bench_simulate((8, 8), data_bytes=2 * MiB, repeat=reps),
+            bench_end_to_end((4, 4), sizes=FIG9_SIZES[:4], repeat=reps),
+        ]
+    else:
+        reps = repeat if repeat is not None else 1
+        results = [
+            bench_construction((16, 16), repeat=reps),
+            bench_simulate((8, 8), repeat=max(3, reps)),
+            bench_end_to_end((8, 8), repeat=reps),
+        ]
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": {r.name: r.to_dict() for r in results},
+    }
+
+
+def format_report(report: Dict[str, object]) -> str:
+    lines = [
+        "%-14s %12s %12s %9s" % ("benchmark", "optimized", "reference", "speedup")
+    ]
+    for name, entry in report["results"].items():
+        lines.append(
+            "%-14s %10.1f ms %10.1f ms %8.2fx"
+            % (
+                name,
+                entry["optimized_s"] * 1e3,
+                entry["reference_s"] * 1e3,
+                entry["speedup"],
+            )
+        )
+    return "\n".join(lines)
+
+
+def default_report_path(report: Dict[str, object], directory: str = ".") -> str:
+    return os.path.join(directory, "BENCH_%s.json" % report["date"])
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_to_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Regression check against a committed baseline report.
+
+    Absolute wall-clock is machine-dependent, so the comparison uses each
+    benchmark's *speedup over the in-process reference implementation* —
+    a same-machine ratio that transfers across hosts.  A benchmark fails
+    when its speedup drops more than ``max_regression`` below the
+    baseline's (e.g. 0.25 allows a 3.0x baseline to degrade to 2.4x).
+    Returns a list of human-readable failures (empty = pass).
+    """
+    failures: List[str] = []
+    if report.get("schema") != baseline.get("schema"):
+        return [
+            "schema mismatch: current %s vs baseline %s"
+            % (report.get("schema"), baseline.get("schema"))
+        ]
+    if bool(report.get("quick")) != bool(baseline.get("quick")):
+        return [
+            "mode mismatch: current quick=%s vs baseline quick=%s"
+            % (report.get("quick"), baseline.get("quick"))
+        ]
+    for name, base_entry in baseline["results"].items():
+        entry = report["results"].get(name)
+        if entry is None:
+            failures.append("benchmark %r missing from current report" % name)
+            continue
+        floor = base_entry["speedup"] * (1.0 - max_regression)
+        if entry["speedup"] < floor:
+            failures.append(
+                "%s regressed: speedup %.2fx < floor %.2fx "
+                "(baseline %.2fx, max regression %d%%)"
+                % (
+                    name,
+                    entry["speedup"],
+                    floor,
+                    base_entry["speedup"],
+                    round(max_regression * 100),
+                )
+            )
+    return failures

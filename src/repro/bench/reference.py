@@ -1,0 +1,320 @@
+"""Pre-optimization (seed) implementations of the performance-critical paths.
+
+This module preserves, verbatim in behaviour, the implementations that
+shipped before the fast-path overhaul:
+
+* :func:`reference_build_trees` — Algorithm 1 with the per-turn
+  ``parents_for_step`` rescan and the full (2, 3, None) route-limit ladder
+  on every network;
+* :func:`reference_run` — the simulator inner loop with per-hop
+  ``topo.link()`` lookups, unconditional channel argmin, and the separate
+  sum/max passes for the ideal delivery time;
+* :func:`reference_dependency_lists` / :func:`reference_step_estimates` /
+  :func:`reference_step_gates` / :func:`reference_build_messages` /
+  :func:`reference_simulate_allreduce` — the uncached schedule-lowering
+  pipeline that re-derived dependencies, routes, and gate times on every
+  call;
+* :func:`reference_all_reduce` — the numeric executor with the per-step
+  full-matrix snapshot.
+
+They exist for two reasons.  The golden-equivalence tests assert the
+optimized paths produce *bit-identical* schedules, timings, and reductions
+(see ``tests/test_golden_equivalence.py``).  The :mod:`repro.bench` harness
+times optimized-vs-reference on the same machine, so the recorded speedups
+are hardware-independent and regressions are detectable in CI.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..collectives.multitree import (
+    TREE_PRIORITIES,
+    SpanningTree,
+    trees_to_schedule,
+)
+from ..collectives.schedule import OpKind, Schedule
+from ..network.flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
+from ..network.simulator import (
+    Message,
+    MessageTiming,
+    SimulationResult,
+)
+from ..topology.base import LinkKey, Topology
+
+
+# -- construction (seed build_trees) ---------------------------------------------
+
+
+def reference_build_trees(
+    topology: Topology, priority: str = "root-id"
+) -> Tuple[List[SpanningTree], int]:
+    """The seed Algorithm 1 loop: O(n) parent rescans, no failure memo."""
+    if priority not in TREE_PRIORITIES:
+        raise ValueError(
+            "unknown priority %r; choose from %s" % (priority, TREE_PRIORITIES)
+        )
+    n = topology.num_nodes
+    trees = [SpanningTree(root=node, num_nodes=n) for node in topology.nodes]
+    step = 0
+    while not all(tree.complete for tree in trees):
+        step += 1
+        alloc = topology.allocation_graph()
+        progress = True
+        while progress:
+            progress = False
+            if priority == "most-remaining":
+                turn_order = sorted(trees, key=lambda t: (len(t.members), t.root))
+            else:
+                turn_order = trees
+            for tree in turn_order:
+                if tree.complete:
+                    continue
+                members = tree.members
+                eligible = lambda c: c not in members  # noqa: E731
+                found = None
+                for limit in (2, 3, None):
+                    for parent in tree.parents_for_step(step):
+                        found = alloc.find_child(parent, eligible, limit)
+                        if found is not None:
+                            break
+                    if found is not None:
+                        break
+                if found is not None:
+                    tree.add(found, step)
+                    progress = True
+        if step > 4 * n:
+            raise RuntimeError("MultiTree construction did not converge")
+    return trees, step
+
+
+def reference_multitree_schedule(
+    topology: Topology, priority: str = "root-id"
+) -> Schedule:
+    """Seed construction lowered through the shared schedule builder."""
+    trees, tot_t = reference_build_trees(topology, priority)
+    return trees_to_schedule(trees, tot_t, topology, priority)
+
+
+# -- simulation (seed NetworkSimulator.run) --------------------------------------
+
+
+def reference_run(
+    topology: Topology, flow_control: FlowControl, messages: List[Message]
+) -> SimulationResult:
+    """The seed simulator loop (no spec snapshot, no capacity-1 fast path)."""
+    topo = topology
+    fc = flow_control
+
+    channels: Dict[LinkKey, List[float]] = {}
+
+    def channel_pool(key: LinkKey) -> List[float]:
+        pool = channels.get(key)
+        if pool is None:
+            pool = [0.0] * topo.link(*key).capacity
+            channels[key] = pool
+        return pool
+
+    timings = [MessageTiming() for _ in messages]
+    link_busy: Dict[LinkKey, float] = {}
+    total_wire = 0.0
+
+    remaining = [0] * len(messages)
+    dependents: Dict[int, List[int]] = {}
+    for idx, msg in enumerate(messages):
+        remaining[idx] = len(msg.deps)
+        for dep in msg.deps:
+            dependents.setdefault(dep, []).append(idx)
+    ready_time = [msg.not_before for msg in messages]
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int]] = []
+    for idx, msg in enumerate(messages):
+        if remaining[idx] == 0:
+            heapq.heappush(heap, (ready_time[idx], next(counter), idx))
+
+    finish = 0.0
+    processed = 0
+    while heap:
+        ready, _seq, idx = heapq.heappop(heap)
+        msg = messages[idx]
+        timing = timings[idx]
+        timing.ready = ready
+
+        wire = fc.wire_bytes(msg.payload_bytes)
+        total_wire += wire * len(msg.route)
+        head = ready
+        inject = None
+        for key in msg.route:
+            spec = topo.link(*key)
+            pool = channel_pool(key)
+            ch = min(range(len(pool)), key=pool.__getitem__)
+            ser = wire / spec.bandwidth
+            grant = max(head, pool[ch])
+            pool[ch] = grant + ser
+            link_busy[key] = link_busy.get(key, 0.0) + ser
+            if inject is None:
+                inject = grant
+            head = grant + spec.latency
+        if not msg.route:
+            inject = ready
+            deliver = ready
+            ideal = ready
+        else:
+            last = msg.route[-1]
+            deliver = head + wire / topo.link(*last).bandwidth
+            ideal = ready + sum(
+                topo.link(*key).latency for key in msg.route
+            ) + max(wire / topo.link(*key).bandwidth for key in msg.route)
+        timing.inject = inject
+        timing.deliver = deliver
+        timing.ideal_deliver = ideal
+        finish = max(finish, deliver)
+        processed += 1
+
+        for dep_idx in dependents.get(idx, ()):
+            wake = deliver + messages[dep_idx].receive_overhead
+            ready_time[dep_idx] = max(ready_time[dep_idx], wake)
+            remaining[dep_idx] -= 1
+            if remaining[dep_idx] == 0:
+                heapq.heappush(heap, (ready_time[dep_idx], next(counter), dep_idx))
+
+    if processed != len(messages):
+        stuck = [i for i in range(len(messages)) if remaining[i] > 0]
+        raise RuntimeError(
+            "dependency deadlock: %d messages never became ready (first: %s)"
+            % (len(stuck), stuck[:5])
+        )
+    return SimulationResult(
+        finish_time=finish,
+        timings=timings,
+        link_busy=link_busy,
+        total_wire_bytes=total_wire,
+    )
+
+
+# -- schedule lowering (seed injector/lockstep, no caching) ----------------------
+
+
+def reference_dependency_lists(schedule: Schedule) -> List[List[int]]:
+    """Seed dependency derivation: recomputed from scratch on every call."""
+    grain = max(schedule.granularity, 1)
+    receives: Dict[int, Dict[int, List]] = {}
+    for idx, op in enumerate(schedule.ops):
+        lo, hi = op.chunk.unit_span(grain)
+        units = receives.setdefault(op.dst, {})
+        for unit in range(lo, hi):
+            units.setdefault(unit, []).append((op.step, idx))
+
+    deps: List[List[int]] = []
+    for op in schedule.ops:
+        found: Set[int] = set()
+        units = receives.get(op.src)
+        if units:
+            lo, hi = op.chunk.unit_span(grain)
+            for unit in range(lo, hi):
+                for step, idx in units.get(unit, ()):
+                    if step < op.step:
+                        found.add(idx)
+        deps.append(sorted(found))
+    return deps
+
+
+def reference_step_estimates(
+    schedule: Schedule, data_bytes: float, flow_control: FlowControl
+) -> Dict[int, float]:
+    """Seed per-step estimates: per-op route expansion and Fraction math."""
+    est: Dict[int, float] = {}
+    for op in schedule.ops:
+        route = schedule.route_of(op)
+        if not route:
+            continue
+        bandwidth = min(schedule.topology.link(*key).bandwidth for key in route)
+        payload = float(op.chunk.fraction) * data_bytes
+        ser = flow_control.serialization_time(payload, bandwidth)
+        if ser > est.get(op.step, 0.0):
+            est[op.step] = ser
+    return est
+
+
+def reference_step_gates(
+    schedule: Schedule, data_bytes: float, flow_control: FlowControl
+) -> Dict[int, float]:
+    est = reference_step_estimates(schedule, data_bytes, flow_control)
+    gates: Dict[int, float] = {}
+    clock = 0.0
+    for step in range(1, schedule.num_steps + 1):
+        gates[step] = clock
+        clock += est.get(step, 0.0)
+    return gates
+
+
+def reference_build_messages(
+    schedule: Schedule,
+    data_bytes: float,
+    flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
+    lockstep: bool = True,
+    scheduling_overhead: float = 0.0,
+) -> List[Message]:
+    deps = reference_dependency_lists(schedule)
+    gates = (
+        reference_step_gates(schedule, data_bytes, flow_control)
+        if lockstep
+        else {}
+    )
+    messages = []
+    for idx, op in enumerate(schedule.ops):
+        messages.append(
+            Message(
+                src=op.src,
+                dst=op.dst,
+                payload_bytes=float(op.chunk.fraction) * data_bytes,
+                route=schedule.route_of(op),
+                deps=deps[idx],
+                not_before=gates.get(op.step, 0.0),
+                receive_overhead=scheduling_overhead,
+                tag=op,
+            )
+        )
+    return messages
+
+
+def reference_simulate_allreduce(
+    schedule: Schedule,
+    data_bytes: float,
+    flow_control: FlowControl = DEFAULT_FLOW_CONTROL,
+    lockstep: bool = True,
+    scheduling_overhead: float = 0.0,
+) -> SimulationResult:
+    """The seed end-to-end prediction path for one data size."""
+    if data_bytes <= 0:
+        raise ValueError("data_bytes must be positive")
+    messages = reference_build_messages(
+        schedule, data_bytes, flow_control, lockstep, scheduling_overhead
+    )
+    return reference_run(schedule.topology, flow_control, messages)
+
+
+# -- numeric execution (seed Communicator.all_reduce inner loop) -----------------
+
+
+def reference_all_reduce(schedule: Schedule, data: np.ndarray) -> np.ndarray:
+    """Seed reduction executor: full-matrix snapshot at every step."""
+    data = np.array(data, copy=True)
+    length = data.shape[1]
+    for _step, ops in schedule.steps():
+        snapshot = data.copy()
+        for op in ops:
+            lo = int(op.chunk.lo * length)
+            hi = int(op.chunk.hi * length)
+            if lo >= hi:
+                continue
+            if op.kind is OpKind.REDUCE:
+                data[op.dst, lo:hi] += snapshot[op.src, lo:hi]
+            else:
+                data[op.dst, lo:hi] = snapshot[op.src, lo:hi]
+    return data

@@ -2,7 +2,9 @@
 
 Commands
 --------
-``sweep``    all-reduce bandwidth across data sizes (a Fig. 9 panel)
+``sweep``    all-reduce bandwidth across data sizes (a Fig. 9 panel);
+             ``--jobs``/``--cache`` run it parallel and memoized
+``bench``    the fast-path micro-benchmark harness (BENCH_<date>.json)
 ``trees``    print MultiTree construction and NI schedule tables (Fig. 3/5)
 ``train``    one training iteration for a DNN workload (Fig. 11 rows)
 ``trace``    simulate one all-reduce with full event tracing and diagnosis
@@ -18,57 +20,25 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis import format_bandwidth_table, format_table1, measure_table1, sweep_bandwidth
+from .bench import (
+    compare_to_baseline,
+    default_report_path,
+    format_report,
+    load_report,
+    run_bench,
+    write_report,
+)
 from .collectives import ALGORITHMS, build_schedule, build_trees
 from .compute import MODEL_BUILDERS, get_model
 from .network import MessageBased, PacketBased
 from .ni import build_schedule_tables, simulate_allreduce
-from .topology import BiGraph, FatTree, Mesh2D, Ring1D, Torus2D, Torus3D
-from .topology.base import Topology
+from .sweep import SweepJob, run_sweep
+from .topology.specs import TOPOLOGY_HELP, parse_topology, parse_topology_spec
 from .trace import Trace, format_trace_report, write_chrome_trace
 from .training import nonoverlapped_iteration, overlapped_iteration
 
 KiB = 1024
 MiB = 1 << 20
-
-TOPOLOGY_HELP = (
-    "torus WxH | mesh WxH | torus3d WxHxD | ring1d N | "
-    "fattree LEAVESxNODES | bigraph SWITCHES_PER_LAYERxNODES_PER_SWITCH"
-)
-
-
-def parse_topology(kind: str, dims: str) -> Topology:
-    try:
-        parts = [int(p) for p in dims.lower().split("x")]
-    except ValueError:
-        raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
-    builders = {
-        "torus": lambda: Torus2D(*parts),
-        "mesh": lambda: Mesh2D(*parts),
-        "torus3d": lambda: Torus3D(*parts),
-        "ring1d": lambda: Ring1D(parts[0]),
-        "fattree": lambda: FatTree(*parts),
-        "bigraph": lambda: BiGraph(*parts),
-    }
-    try:
-        builder = builders[kind]
-    except KeyError:
-        raise SystemExit("unknown topology %r (choose: %s)" % (kind, TOPOLOGY_HELP))
-    try:
-        return builder()
-    except TypeError:
-        raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
-
-
-def parse_topology_spec(spec: str, dims: Optional[str] = None) -> Topology:
-    """Parse either split form (``torus``, ``4x4``) or combined ``torus-4x4``."""
-    if dims:
-        return parse_topology(spec, dims)
-    kind, sep, joined = spec.partition("-")
-    if not sep:
-        raise SystemExit(
-            "topology %r needs dimensions (e.g. torus-4x4 or --dims 4x4)" % spec
-        )
-    return parse_topology(kind, joined)
 
 
 def parse_size(text: str) -> int:
@@ -87,19 +57,47 @@ def parse_size(text: str) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.dims)
     sizes = [parse_size(s) for s in args.sizes.split(",")]
-    sweeps = []
-    for algorithm in args.algorithms.split(","):
-        algorithm = algorithm.strip()
-        if algorithm == "multitree-msg":
-            schedule = build_schedule("multitree", topology)
-            sweeps.append(
-                sweep_bandwidth(schedule, sizes, MessageBased(), label="multitree-msg")
-            )
-        else:
-            schedule = build_schedule(algorithm, topology)
-            sweeps.append(sweep_bandwidth(schedule, sizes, PacketBased()))
+    algorithms = [a.strip() for a in args.algorithms.split(",")]
+    if args.jobs > 1 or args.cache:
+        spec = "%s-%s" % (args.topology, args.dims)
+        jobs = [
+            SweepJob(topology=spec, algorithm=algorithm, sizes=tuple(sizes))
+            for algorithm in algorithms
+        ]
+        sweeps = run_sweep(jobs, processes=args.jobs, cache_path=args.cache)
+    else:
+        sweeps = []
+        for algorithm in algorithms:
+            if algorithm == "multitree-msg":
+                schedule = build_schedule("multitree", topology)
+                sweeps.append(
+                    sweep_bandwidth(
+                        schedule, sizes, MessageBased(), label="multitree-msg"
+                    )
+                )
+            else:
+                schedule = build_schedule(algorithm, topology)
+                sweeps.append(sweep_bandwidth(schedule, sizes, PacketBased()))
     print("all-reduce bandwidth on %s" % topology.name)
     print(format_bandwidth_table(sweeps))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    report = run_bench(quick=args.quick, repeat=args.repeat)
+    print(format_report(report))
+    output = args.output or default_report_path(report)
+    write_report(report, output)
+    print("wrote %s" % output)
+    if args.baseline:
+        failures = compare_to_baseline(
+            report, load_report(args.baseline), args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print("REGRESSION: %s" % failure, file=sys.stderr)
+            return 1
+        print("no regression vs %s" % args.baseline)
     return 0
 
 
@@ -202,7 +200,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dims", default="4x4", help=TOPOLOGY_HELP)
     p.add_argument("--algorithms", default="ring,multitree,multitree-msg")
     p.add_argument("--sizes", default="32K,1M,16M,64M")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (one algorithm series per job; 1 = serial)",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persistent prediction cache file (created if missing)",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "bench", help="fast-path micro-benchmarks vs the seed implementations"
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small topologies (CI smoke mode)"
+    )
+    p.add_argument("--repeat", type=int, default=None, help="timing repetitions")
+    p.add_argument(
+        "--output", default=None, help="report path (default BENCH_<date>.json)"
+    )
+    p.add_argument(
+        "--baseline", default=None,
+        help="committed BENCH_*.json to compare speedups against",
+    )
+    p.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional speedup drop vs baseline (default 0.25)",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("trees", help="print MultiTree construction (Fig. 3/5)")
     p.add_argument("--topology", default="mesh")

@@ -37,18 +37,31 @@ class TreeEdge:
 
 @dataclass
 class SpanningTree:
-    """A schedule tree rooted at ``root`` (the flow/tree id)."""
+    """A schedule tree rooted at ``root`` (the flow/tree id).
+
+    Parent/child adjacency is indexed at :meth:`add` time so
+    :meth:`parent_of` and :meth:`children_of` are O(1) lookups instead of
+    O(E) scans over ``edges``.
+    """
 
     root: int
     num_nodes: int
     edges: List[TreeEdge] = field(default_factory=list)
     added_step: Dict[int, int] = field(default_factory=dict)
     order: List[int] = field(default_factory=list)
+    _parent: Dict[int, int] = field(default_factory=dict, repr=False)
+    _children: Dict[int, List[int]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if not self.order:
             self.added_step[self.root] = 0
             self.order.append(self.root)
+        elif self.edges and not self._parent:
+            # Rebuilt from pre-populated fields (e.g. deserialization):
+            # derive the adjacency indices from the edge list.
+            for edge in self.edges:
+                self._parent[edge.child] = edge.parent
+                self._children.setdefault(edge.parent, []).append(edge.child)
 
     @property
     def members(self) -> Dict[int, int]:
@@ -62,24 +75,22 @@ class SpanningTree:
         child = allocation.child
         if child in self.added_step:
             raise ValueError("node %d already in tree %d" % (child, self.root))
-        self.edges.append(
-            TreeEdge(allocation.parent, child, step, tuple(allocation.route))
-        )
+        parent = allocation.parent
+        self.edges.append(TreeEdge(parent, child, step, tuple(allocation.route)))
         self.added_step[child] = step
         self.order.append(child)
+        self._parent[child] = parent
+        self._children.setdefault(parent, []).append(child)
 
     def parents_for_step(self, step: int) -> List[int]:
         """Members added before ``step``, in breadth-first addition order."""
         return [n for n in self.order if self.added_step[n] < step]
 
     def parent_of(self, node: int) -> Optional[int]:
-        for edge in self.edges:
-            if edge.child == node:
-                return edge.parent
-        return None
+        return self._parent.get(node)
 
     def children_of(self, node: int) -> List[int]:
-        return [edge.child for edge in self.edges if edge.parent == node]
+        return list(self._children.get(node, ()))
 
     def depth(self) -> int:
         return max((edge.step for edge in self.edges), default=0)
@@ -108,24 +119,56 @@ def build_trees(
         )
     n = topology.num_nodes
     trees = [SpanningTree(root=node, num_nodes=n) for node in topology.nodes]
+    # One membership test per tree, created once: reads the live
+    # ``added_step`` dict so it stays correct as children join.
+    eligibility = {
+        tree.root: (lambda c, _m=tree.added_step: c not in _m) for tree in trees
+    }
+    most_remaining = priority == "most-remaining"
+    version = 0  # bumped on every add; lets the sorted turn order be reused
     step = 0
     while not all(tree.complete for tree in trees):
         step += 1
         alloc = topology.allocation_graph()  # fresh G'(V', E') for this step
+        # Line 9's parent set is fixed for the whole step: every current
+        # member was added in an earlier step, and children added *during*
+        # this step never qualify.  Snapshot it once instead of re-deriving
+        # it per tree turn (the seed implementation's O(n) rescan).
+        step_parents = {tree.root: list(tree.order) for tree in trees}
+        # The allocator advertises which route-length limits are worth
+        # probing: (2, 3, None) on switch-based networks, a single
+        # unbounded pass on direct networks where every candidate is one
+        # link and the ladder rungs all run the identical scan.
+        limits = alloc.route_limits()
+        # find_child is monotone within a step — capacity only shrinks and
+        # eligible sets only shrink — so a (tree, limit, parent) probe that
+        # failed once can never succeed later in the same step.  Memoizing
+        # failures (and trees whose turn came up empty) skips exactly the
+        # probes the seed implementation repeats fruitlessly each pass.
+        exhausted = {
+            tree.root: {limit: set() for limit in limits} for tree in trees
+        }
+        stalled = set()
+        sorted_order: List[SpanningTree] = []
+        sorted_version = -1
         progress = True
         while progress:
             progress = False
-            if priority == "most-remaining":
-                turn_order = sorted(
-                    trees, key=lambda t: (len(t.members), t.root)
-                )
+            if most_remaining:
+                if sorted_version != version:
+                    sorted_order = sorted(
+                        trees, key=lambda t: (len(t.members), t.root)
+                    )
+                    sorted_version = version
+                turn_order = sorted_order
             else:
                 turn_order = trees  # ascending root id (line 8)
             for tree in turn_order:
-                if tree.complete:
+                if tree.complete or tree.root in stalled:
                     continue
-                members = tree.members
-                eligible = lambda c: c not in members
+                eligible = eligibility[tree.root]
+                parents = step_parents[tree.root]
+                dead = exhausted[tree.root]
                 found = None
                 # Prefer the shortest connection available anywhere in the
                 # tree: same-switch (2 links), then one inter-switch hop
@@ -134,16 +177,23 @@ def build_trees(
                 # "check close neighbors first" refinement of §III-C3 and
                 # keeps expensive multi-switch routes for when nothing
                 # closer exists, preserving per-step link budget.
-                for limit in (2, 3, None):
-                    for parent in tree.parents_for_step(step):  # line 9
+                for limit in limits:
+                    dead_at_limit = dead[limit]
+                    for parent in parents:  # line 9
+                        if parent in dead_at_limit:
+                            continue
                         found = alloc.find_child(parent, eligible, limit)
                         if found is not None:
                             break
+                        dead_at_limit.add(parent)
                     if found is not None:
                         break
                 if found is not None:
                     tree.add(found, step)
+                    version += 1
                     progress = True
+                else:
+                    stalled.add(tree.root)  # cannot reconnect this step
         if step > 4 * n:  # safety net; never triggered on connected graphs
             raise RuntimeError("MultiTree construction did not converge")
     return trees, step
@@ -162,6 +212,16 @@ def multitree_allreduce(topology: Topology, priority: str = "root-id") -> Schedu
     adjustment of lines 16-18.
     """
     trees, tot_t = build_trees(topology, priority)
+    return trees_to_schedule(trees, tot_t, topology, priority)
+
+
+def trees_to_schedule(
+    trees: Sequence[SpanningTree],
+    tot_t: int,
+    topology: Topology,
+    priority: str = "root-id",
+) -> Schedule:
+    """Lower constructed spanning trees to the all-reduce schedule IR."""
     n = topology.num_nodes
     ops: List[CommOp] = []
     for tree in trees:

@@ -49,7 +49,14 @@ class ChunkRange:
         return self.hi - self.lo
 
     def bytes_of(self, total_bytes: float) -> float:
-        return float(self.fraction) * total_bytes
+        # float(Fraction) is exact-to-nearest and the range is immutable,
+        # so memoize it: the Fraction subtraction/conversion dominates the
+        # per-op cost of lowering a schedule to messages otherwise.
+        frac = self.__dict__.get("_float_fraction")
+        if frac is None:
+            frac = float(self.fraction)
+            object.__setattr__(self, "_float_fraction", frac)
+        return frac * total_bytes
 
     def overlaps(self, other: "ChunkRange") -> bool:
         return self.lo < other.hi and other.lo < self.hi
@@ -158,6 +165,20 @@ class Schedule:
         if op.route is not None:
             return list(op.route)
         return self.topology.route(op.src, op.dst)
+
+    def op_routes(self) -> List[List[LinkKey]]:
+        """Route of every op (aligned with ``self.ops``), computed once.
+
+        Ops and topology routing are immutable after construction, so the
+        per-op route expansion — a hot input to dependency derivation,
+        lockstep estimation, and message lowering — is cached on the
+        schedule.  Callers must not mutate the returned lists.
+        """
+        cached = self.__dict__.get("_op_routes")
+        if cached is None:
+            cached = [self.route_of(op) for op in self.ops]
+            self.__dict__["_op_routes"] = cached
+        return cached
 
     # -- structural checks --------------------------------------------------------
 

@@ -79,12 +79,17 @@ class SimulationResult:
         return max((t.queue_delay for t in self.timings), default=0.0)
 
     def link_utilization(self, topology: Topology) -> Dict[LinkKey, float]:
-        """Busy fraction per link over the whole run (per unit channel)."""
+        """Busy fraction per link over the whole run (per unit channel).
+
+        Every link of ``topology`` appears in the result; links the run
+        never touched report 0.0 utilization.
+        """
+        busy_get = self.link_busy.get
         if self.finish_time <= 0:
-            return {key: 0.0 for key in self.link_busy}
+            return {key: 0.0 for key in topology.links}
         return {
-            key: busy / (self.finish_time * topology.link(*key).capacity)
-            for key, busy in self.link_busy.items()
+            key: busy_get(key, 0.0) / (self.finish_time * spec.capacity)
+            for key, spec in topology.links.items()
         }
 
     def mean_link_utilization(self, topology: Topology) -> float:
@@ -120,18 +125,21 @@ class NetworkSimulator:
         topo = self.topology
         fc = self.flow_control
 
-        # Per-link channel availability times.
+        # Hot-loop setup: one link-spec snapshot (dict lookups instead of
+        # method calls per hop), per-payload wire-size memoization (an
+        # all-reduce has few distinct payload sizes), and local bindings of
+        # the attributes the loop touches on every event.
+        link_map = topo.links
         channels: Dict[LinkKey, List[float]] = {}
-
-        def channel_pool(key: LinkKey) -> List[float]:
-            pool = channels.get(key)
-            if pool is None:
-                pool = [0.0] * topo.link(*key).capacity
-                channels[key] = pool
-            return pool
+        wire_cache: Dict[float, float] = {}
+        wire_bytes = fc.wire_bytes
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         timings = [MessageTiming() for _ in messages]
         link_busy: Dict[LinkKey, float] = {}
+        busy_get = link_busy.get
+        channels_get = channels.get
         total_wire = 0.0
 
         # Dependency bookkeeping.
@@ -147,59 +155,84 @@ class NetworkSimulator:
         heap: List[Tuple[float, int, int]] = []
         for idx, msg in enumerate(messages):
             if remaining[idx] == 0:
-                heapq.heappush(heap, (ready_time[idx], next(counter), idx))
+                heappush(heap, (ready_time[idx], next(counter), idx))
 
         finish = 0.0
         processed = 0
         while heap:
-            ready, _seq, idx = heapq.heappop(heap)
+            ready, _seq, idx = heappop(heap)
             msg = messages[idx]
             timing = timings[idx]
             timing.ready = ready
 
-            wire = fc.wire_bytes(msg.payload_bytes)
+            payload = msg.payload_bytes
+            wire = wire_cache.get(payload)
+            if wire is None:
+                wire = wire_bytes(payload)
+                wire_cache[payload] = wire
+            route = msg.route
             # Zero-hop (src == dst) messages traverse no links and put no
             # bytes on any wire.
-            total_wire += wire * len(msg.route)
-            head = ready
-            inject = None
-            for key in msg.route:
-                spec = topo.link(*key)
-                pool = channel_pool(key)
-                ch = min(range(len(pool)), key=pool.__getitem__)
-                ser = wire / spec.bandwidth
-                grant = max(head, pool[ch])
-                pool[ch] = grant + ser
-                link_busy[key] = link_busy.get(key, 0.0) + ser
-                if recorder is not None:
-                    recorder.hop(idx, key, ch, head, grant, ser)
-                if inject is None:
-                    inject = grant
-                head = grant + spec.latency
-            if not msg.route:  # zero-hop (src == dst) — degenerate, instant
+            total_wire += wire * len(route)
+            if not route:  # zero-hop (src == dst) — degenerate, instant
                 inject = ready
                 deliver = ready
                 ideal = ready
             else:
-                last = msg.route[-1]
-                deliver = head + wire / topo.link(*last).bandwidth
-                ideal = ready + sum(
-                    topo.link(*key).latency for key in msg.route
-                ) + max(wire / topo.link(*key).bandwidth for key in msg.route)
+                head = ready
+                inject = None
+                ser = 0.0
+                lat_sum = 0.0
+                max_ser = 0.0
+                for key in route:
+                    spec = link_map[key]
+                    pool = channels_get(key)
+                    if pool is None:
+                        pool = [0.0] * spec.capacity
+                        channels[key] = pool
+                    # Fast path for the common capacity-1 link: no argmin
+                    # scan over channels, the single slot is the channel.
+                    if len(pool) == 1:
+                        ch = 0
+                        avail = pool[0]
+                    else:
+                        ch = min(range(len(pool)), key=pool.__getitem__)
+                        avail = pool[ch]
+                    ser = wire / spec.bandwidth
+                    grant = head if head >= avail else avail
+                    pool[ch] = grant + ser
+                    link_busy[key] = busy_get(key, 0.0) + ser
+                    if recorder is not None:
+                        recorder.hop(idx, key, ch, head, grant, ser)
+                    if inject is None:
+                        inject = grant
+                    latency = spec.latency
+                    head = grant + latency
+                    lat_sum += latency
+                    if ser > max_ser:
+                        max_ser = ser
+                # ``ser`` still holds the last hop's serialization time, and
+                # lat_sum/max_ser accumulated in route order match the
+                # separate sum()/max() passes of the reference loop
+                # bit-for-bit.
+                deliver = head + ser
+                ideal = ready + lat_sum + max_ser
             timing.inject = inject
             timing.deliver = deliver
             timing.ideal_deliver = ideal
             if recorder is not None:
                 recorder.message_done(idx, msg, timing, wire)
-            finish = max(finish, deliver)
+            if deliver > finish:
+                finish = deliver
             processed += 1
 
             for dep_idx in dependents.get(idx, ()):  # wake dependents
                 wake = deliver + messages[dep_idx].receive_overhead
-                ready_time[dep_idx] = max(ready_time[dep_idx], wake)
+                if wake > ready_time[dep_idx]:
+                    ready_time[dep_idx] = wake
                 remaining[dep_idx] -= 1
                 if remaining[dep_idx] == 0:
-                    heapq.heappush(heap, (ready_time[dep_idx], next(counter), dep_idx))
+                    heappush(heap, (ready_time[dep_idx], next(counter), dep_idx))
 
         if processed != len(messages):
             stuck = [i for i in range(len(messages)) if remaining[i] > 0]

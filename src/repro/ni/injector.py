@@ -32,7 +32,15 @@ def dependency_lists(schedule: Schedule) -> List[List[int]]:
     Op ``i`` depends on op ``j`` iff ``j.dst == i.src``, ``j.step < i.step``
     and their data ranges overlap: the sender cannot forward (Gather) or
     aggregate-and-send (Reduce) data it has not yet received.
+
+    The result depends only on the (immutable) op list, so it is computed
+    once per schedule and cached — repeated simulations of the same
+    schedule at different data sizes (bandwidth sweeps) skip the quadratic
+    overlap derivation entirely.  Callers must not mutate the result.
     """
+    cached = schedule.__dict__.get("_dependency_lists")
+    if cached is not None:
+        return cached
     grain = max(schedule.granularity, 1)
     # receives[node][unit] -> list of (step, op index) delivering that unit.
     receives: Dict[int, Dict[int, List]] = {}
@@ -53,6 +61,7 @@ def dependency_lists(schedule: Schedule) -> List[List[int]]:
                     if step < op.step:
                         found.add(idx)
         deps.append(sorted(found))
+    schedule.__dict__["_dependency_lists"] = deps
     return deps
 
 
@@ -102,6 +111,7 @@ def build_messages(
     it as step-boundary events.
     """
     deps = dependency_lists(schedule)
+    routes = schedule.op_routes()
     gates = step_gates(schedule, data_bytes, flow_control) if lockstep else {}
     if recorder is not None:
         for step in sorted(gates):
@@ -113,7 +123,7 @@ def build_messages(
                 src=op.src,
                 dst=op.dst,
                 payload_bytes=op.chunk.bytes_of(data_bytes),
-                route=schedule.route_of(op),
+                route=routes[idx],
                 deps=deps[idx],
                 not_before=gates.get(op.step, 0.0),
                 receive_overhead=scheduling_overhead,

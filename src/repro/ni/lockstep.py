@@ -20,20 +20,43 @@ from ..collectives.schedule import Schedule
 from ..network.flowcontrol import FlowControl
 
 
+def _ser_profile(schedule: Schedule):
+    """Unique ``(step, bottleneck_bandwidth, chunk_fraction)`` triples.
+
+    The per-op inputs to the step estimate depend only on the immutable
+    schedule, and most ops of a step share the same chunk size and
+    bottleneck bandwidth — so the profile is computed once, deduplicated
+    (first-occurrence order preserved), and cached on the schedule.
+    Estimating a new data size then costs one serialization computation
+    per distinct triple instead of one per op.
+    """
+    profile = schedule.__dict__.get("_ser_profile")
+    if profile is None:
+        topo = schedule.topology
+        seen = set()
+        profile = []
+        for op, route in zip(schedule.ops, schedule.op_routes()):
+            if not route:
+                continue
+            bandwidth = min(topo.link(*key).bandwidth for key in route)
+            entry = (op.step, bandwidth, op.chunk.fraction)
+            if entry not in seen:
+                seen.add(entry)
+                profile.append(entry)
+        schedule.__dict__["_ser_profile"] = profile
+    return profile
+
+
 def step_estimates(
     schedule: Schedule, data_bytes: float, flow_control: FlowControl
 ) -> Dict[int, float]:
     """Estimated duration of each step (serialization of its largest chunk)."""
     est: Dict[int, float] = {}
-    for op in schedule.ops:
-        route = schedule.route_of(op)
-        if not route:
-            continue
-        bandwidth = min(schedule.topology.link(*key).bandwidth for key in route)
-        payload = op.chunk.bytes_of(data_bytes)
+    for step, bandwidth, fraction in _ser_profile(schedule):
+        payload = float(fraction) * data_bytes
         ser = flow_control.serialization_time(payload, bandwidth)
-        if ser > est.get(op.step, 0.0):
-            est[op.step] = ser
+        if ser > est.get(step, 0.0):
+            est[step] = ser
     return est
 
 

@@ -76,16 +76,27 @@ class Communicator:
             raise ValueError("nothing to reduce")
 
         for _step, ops in self.schedule.steps():
-            snapshot = data.copy()
+            # Synchronous step semantics: every op reads its source as it
+            # was at the start of the step.  Only rows that are both read
+            # and written this step actually need a pre-write copy — a
+            # source row no op targets is identical to its snapshot — so
+            # snapshot those rows instead of the full (n, length) matrix.
+            written = {op.dst for op in ops}
+            snapshot = {
+                op.src: data[op.src].copy() for op in ops if op.src in written
+            }
             for op in ops:
                 lo = int(op.chunk.lo * length)
                 hi = int(op.chunk.hi * length)
                 if lo >= hi:
                     continue  # chunk narrower than one element at this length
+                src_row = snapshot.get(op.src)
+                if src_row is None:
+                    src_row = data[op.src]
                 if op.kind is OpKind.REDUCE:
-                    data[op.dst, lo:hi] += snapshot[op.src, lo:hi]
+                    data[op.dst, lo:hi] += src_row[lo:hi]
                 else:
-                    data[op.dst, lo:hi] = snapshot[op.src, lo:hi]
+                    data[op.dst, lo:hi] = src_row[lo:hi]
         timing = self.predict(length * data.dtype.itemsize)
         return data, timing
 

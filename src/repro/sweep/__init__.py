@@ -1,0 +1,34 @@
+"""Parallel sweep runner with a persistent on-disk prediction cache.
+
+``repro sweep --jobs N --cache PATH`` (see :mod:`repro.cli`) and the
+``benchmarks/`` figure scripts use this package to parallelize and
+memoize figure-scale prediction grids.
+"""
+
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    PredictionCache,
+    prediction_key,
+    topology_fingerprint,
+)
+from .runner import (
+    FLOW_CONTROLS,
+    SweepJob,
+    predict_cached,
+    run_job,
+    run_sweep,
+    sweep_bandwidth_cached,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "FLOW_CONTROLS",
+    "PredictionCache",
+    "SweepJob",
+    "predict_cached",
+    "prediction_key",
+    "run_job",
+    "run_sweep",
+    "sweep_bandwidth_cached",
+    "topology_fingerprint",
+]

@@ -1,0 +1,152 @@
+"""Persistent on-disk cache of all-reduce latency predictions.
+
+A prediction is a pure function of (topology, algorithm, flow control,
+data size, lockstep) — the simulator is deterministic — so its result can
+be reused across processes and sessions.  Figure sweeps that re-simulate
+the same points (repeated benchmark runs, incremental figure edits) then
+cost one dictionary lookup per warm point.
+
+The cache key embeds:
+
+* a **topology fingerprint** — name, node/switch counts, and a digest of
+  every link's ``(src, dst, bandwidth, latency, capacity)`` — so two
+  topologies that merely share a name cannot collide;
+* the algorithm name, the flow-control ``repr`` (which carries framing
+  parameters like packet payload size), the data size, and the lockstep
+  flag;
+* :data:`CACHE_SCHEMA_VERSION` — the invalidation key.  Bump it whenever a
+  change alters predicted timings (simulator semantics, flow-control wire
+  math, lockstep gating); every previously cached entry then misses and
+  the file is repopulated with fresh values.
+
+Entries store ``time``, ``bandwidth``, and ``max_queue_delay``.  The file
+is plain JSON; writes are atomic (temp file + ``os.replace``) and merge
+with on-disk state so concurrent writers lose nothing but duplicated work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..network.flowcontrol import FlowControl
+from ..topology.base import Topology
+
+#: Bump to invalidate every existing cache entry (see module docstring).
+CACHE_SCHEMA_VERSION = 1
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """Digest of the topology's full link structure."""
+    hasher = hashlib.sha256()
+    hasher.update(
+        ("%s|%d|%d" % (topology.name, topology.num_nodes, topology.num_switches)
+         ).encode()
+    )
+    for key in sorted(topology.links):
+        spec = topology.link(*key)
+        hasher.update(
+            ("|%d,%d,%r,%r,%d" % (
+                spec.src, spec.dst, spec.bandwidth, spec.latency, spec.capacity
+            )).encode()
+        )
+    return hasher.hexdigest()[:16]
+
+
+def prediction_key(
+    topology: Topology,
+    algorithm: str,
+    flow_control: FlowControl,
+    data_bytes: int,
+    lockstep: bool = True,
+) -> str:
+    return "v%d|%s|%s|%s|%d|%s" % (
+        CACHE_SCHEMA_VERSION,
+        topology_fingerprint(topology),
+        algorithm,
+        repr(flow_control),
+        int(data_bytes),
+        "lockstep" if lockstep else "free",
+    )
+
+
+class PredictionCache:
+    """JSON-backed key -> prediction store with hit/miss accounting."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, float]] = self._read(path)
+        self._dirty = False
+
+    @staticmethod
+    def _read(path: str) -> Dict[str, Dict[str, float]]:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict[str, float]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, time: float, bandwidth: float,
+            max_queue_delay: float) -> None:
+        self._entries[key] = {
+            "time": time,
+            "bandwidth": bandwidth,
+            "max_queue_delay": max_queue_delay,
+        }
+        self._dirty = True
+
+    def merge(self, entries: Dict[str, Dict[str, float]]) -> None:
+        """Adopt entries computed elsewhere (e.g. a worker process)."""
+        if entries:
+            self._entries.update(entries)
+            self._dirty = True
+
+    @property
+    def entries(self) -> Dict[str, Dict[str, float]]:
+        return dict(self._entries)
+
+    def save(self) -> None:
+        """Atomically persist, merging with whatever is on disk now."""
+        if not self._dirty:
+            return
+        on_disk = self._read(self.path)
+        on_disk.update(self._entries)
+        self._entries = on_disk
+        payload = {"schema": CACHE_SCHEMA_VERSION, "entries": self._entries}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False

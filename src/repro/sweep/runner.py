@@ -1,0 +1,191 @@
+"""Parallel, cache-aware sweep runner for figure-scale prediction grids.
+
+A :class:`SweepJob` names one (topology spec, algorithm, flow control,
+sizes, lockstep) series — everything a worker needs as picklable plain
+data.  :func:`run_sweep` executes a job list either serially or across a
+``multiprocessing`` pool; with a cache path, warm points are served from
+the :mod:`repro.sweep.cache` store and every newly simulated point is
+persisted for the next run.
+
+Workers never write the cache file: each returns its freshly computed
+entries and the parent merges and saves once, so there is no write race
+and a crashed worker costs only its own points.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import BandwidthSweep, SweepPoint
+from ..collectives import build_schedule
+from ..collectives.schedule import Schedule
+from ..network.flowcontrol import FlowControl, MessageBased, PacketBased
+from ..ni.injector import simulate_allreduce
+from ..topology.specs import parse_topology_spec
+from .cache import PredictionCache, prediction_key
+
+FLOW_CONTROLS = {"packet": PacketBased, "message": MessageBased}
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One bandwidth-sweep series, fully described by picklable data."""
+
+    topology: str                 # combined spec, e.g. "torus-8x8"
+    algorithm: str                # algorithm name, or "multitree-msg"
+    sizes: Tuple[int, ...]
+    flow_control: str = "packet"  # "packet" | "message"
+    lockstep: bool = True
+    label: Optional[str] = None
+
+    def resolve(self) -> Tuple[str, FlowControl, str]:
+        """(builder algorithm, flow control, display label).
+
+        ``multitree-msg`` is the CLI/benchmark shorthand for MULTITREE
+        under message-based flow control.
+        """
+        if self.algorithm == "multitree-msg":
+            return "multitree", MessageBased(), self.label or "multitree-msg"
+        try:
+            fc = FLOW_CONTROLS[self.flow_control]()
+        except KeyError:
+            raise ValueError(
+                "unknown flow control %r (choose: %s)"
+                % (self.flow_control, sorted(FLOW_CONTROLS))
+            )
+        return self.algorithm, fc, self.label or self.algorithm
+
+
+def predict_cached(
+    schedule: Schedule,
+    data_bytes: int,
+    flow_control: FlowControl,
+    lockstep: bool = True,
+    cache: Optional[PredictionCache] = None,
+) -> Dict[str, float]:
+    """One prediction point, served from ``cache`` when warm."""
+    key = None
+    if cache is not None:
+        key = prediction_key(
+            schedule.topology, schedule.algorithm, flow_control,
+            data_bytes, lockstep,
+        )
+        entry = cache.get(key)
+        if entry is not None:
+            return entry
+    result = simulate_allreduce(schedule, data_bytes, flow_control, lockstep)
+    entry = {
+        "time": result.time,
+        "bandwidth": result.bandwidth,
+        "max_queue_delay": result.max_queue_delay(),
+    }
+    if cache is not None and key is not None:
+        cache.put(key, **entry)
+    return entry
+
+
+def sweep_bandwidth_cached(
+    schedule: Schedule,
+    sizes: Sequence[int],
+    flow_control: FlowControl,
+    lockstep: bool = True,
+    cache: Optional[PredictionCache] = None,
+    label: Optional[str] = None,
+) -> BandwidthSweep:
+    """Cache-aware drop-in for :func:`repro.analysis.sweep_bandwidth`."""
+    sweep = BandwidthSweep(
+        topology=schedule.topology.name,
+        algorithm=label or schedule.algorithm,
+    )
+    for size in sizes:
+        entry = predict_cached(schedule, size, flow_control, lockstep, cache)
+        sweep.points.append(
+            SweepPoint(
+                algorithm=sweep.algorithm,
+                data_bytes=size,
+                time=entry["time"],
+                bandwidth=entry["bandwidth"],
+                max_queue_delay=entry["max_queue_delay"],
+            )
+        )
+    return sweep
+
+
+def run_job(
+    job: SweepJob, cache: Optional[PredictionCache] = None
+) -> BandwidthSweep:
+    """Build the job's schedule (skipped if fully warm) and sweep it."""
+    algorithm, fc, label = job.resolve()
+    topology = parse_topology_spec(job.topology)
+    if cache is not None:
+        # Schedule construction is itself expensive at scale; skip it
+        # entirely when every requested point is already cached.
+        keys = [
+            prediction_key(topology, algorithm, fc, size, job.lockstep)
+            for size in job.sizes
+        ]
+        if all(key in cache for key in keys):
+            sweep = BandwidthSweep(topology=topology.name, algorithm=label)
+            for size, key in zip(job.sizes, keys):
+                entry = cache.get(key)
+                sweep.points.append(
+                    SweepPoint(
+                        algorithm=label,
+                        data_bytes=size,
+                        time=entry["time"],
+                        bandwidth=entry["bandwidth"],
+                        max_queue_delay=entry["max_queue_delay"],
+                    )
+                )
+            return sweep
+    schedule = build_schedule(algorithm, topology)
+    return sweep_bandwidth_cached(
+        schedule, job.sizes, fc, job.lockstep, cache, label
+    )
+
+
+def _worker(
+    args: Tuple[SweepJob, Optional[str]]
+) -> Tuple[BandwidthSweep, Dict[str, Dict[str, float]]]:
+    """Pool entry point: run one job, return (sweep, newly cached entries)."""
+    job, cache_path = args
+    cache = PredictionCache(cache_path) if cache_path else None
+    if cache is None:
+        return run_job(job), {}
+    before = set(cache.entries)
+    sweep = run_job(job, cache)
+    fresh = {k: v for k, v in cache.entries.items() if k not in before}
+    return sweep, fresh
+
+
+def run_sweep(
+    jobs: Sequence[SweepJob],
+    processes: Optional[int] = None,
+    cache_path: Optional[str] = None,
+) -> List[BandwidthSweep]:
+    """Run jobs, optionally in parallel, returning sweeps in job order.
+
+    ``processes``: ``None``/``0``/``1`` runs serially in-process; larger
+    values use a ``multiprocessing.Pool``.  With ``cache_path``, the cache
+    is consulted before simulating and persisted (atomically, merged with
+    concurrent writers) after all jobs finish.
+    """
+    if not jobs:
+        return []
+    if processes is None or processes <= 1 or len(jobs) == 1:
+        cache = PredictionCache(cache_path) if cache_path else None
+        sweeps = [run_job(job, cache) for job in jobs]
+        if cache is not None:
+            cache.save()
+        return sweeps
+    with multiprocessing.Pool(min(processes, len(jobs))) as pool:
+        outcomes = pool.map(_worker, [(job, cache_path) for job in jobs])
+    sweeps = [sweep for sweep, _fresh in outcomes]
+    if cache_path:
+        cache = PredictionCache(cache_path)
+        for _sweep, fresh in outcomes:
+            cache.merge(fresh)
+        cache.save()
+    return sweeps

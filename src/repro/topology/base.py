@@ -171,6 +171,27 @@ class Topology:
         """
         return self.neighbors(vertex)
 
+    def neighbor_preference_cached(self, vertex: int) -> Tuple[int, ...]:
+        """Memoized :meth:`neighbor_preference` (topologies are immutable).
+
+        Tree construction probes the same parents thousands of times per
+        build; deriving the preference order once per vertex instead of per
+        probe is one of the construction fast paths.
+        """
+        cache = self.__dict__.setdefault("_pref_cache", {})
+        pref = cache.get(vertex)
+        if pref is None:
+            pref = cache[vertex] = tuple(self.neighbor_preference(vertex))
+        return pref
+
+    def neighbors_cached(self, vertex: int) -> Tuple[int, ...]:
+        """Memoized :meth:`neighbors` (no per-call list copy)."""
+        cache = self.__dict__.setdefault("_neighbors_cache", {})
+        result = cache.get(vertex)
+        if result is None:
+            result = cache[vertex] = tuple(self._neighbors.get(vertex, ()))
+        return result
+
     # -- misc -------------------------------------------------------------------
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -218,6 +239,17 @@ class AllocationGraph:
             raise RuntimeError("link %s has no remaining capacity" % (key,))
         self._capacity[key] = left - 1
 
+    def route_limits(self) -> Tuple[Optional[int], ...]:
+        """The route-length ladder construction should probe, short first.
+
+        Searching same-switch routes (2 links) before one inter-switch hop
+        (3) before unbounded is the "check close neighbors first"
+        refinement of §III-C3.  Allocators for which the ladder collapses
+        (direct networks: every candidate is exactly one link) override
+        this so callers skip the redundant passes.
+        """
+        return (2, 3, None)
+
     def find_child(
         self,
         parent: int,
@@ -238,6 +270,11 @@ class AllocationGraph:
 class DirectAllocationGraph(AllocationGraph):
     """Allocator for direct networks: children are physical neighbors."""
 
+    def route_limits(self) -> Tuple[Optional[int], ...]:
+        # Every allocatable route is a single link, so any limit >= 1
+        # finds exactly what the unbounded search finds: one pass suffices.
+        return (None,)
+
     def find_child(
         self,
         parent: int,
@@ -246,10 +283,11 @@ class DirectAllocationGraph(AllocationGraph):
     ) -> Optional[Allocation]:
         if max_route_len is not None and max_route_len < 1:
             return None
-        for child in self.topology.neighbor_preference(parent):
+        capacity = self._capacity
+        for child in self.topology.neighbor_preference_cached(parent):
             key = (parent, child)
-            if eligible(child) and self.remaining(key) > 0:
-                self._consume(key)
+            if capacity.get(key, 0) > 0 and eligible(child):
+                capacity[key] -= 1
                 return Allocation(parent, child, [key])
         return None
 
@@ -273,7 +311,9 @@ class IndirectAllocationGraph(AllocationGraph):
     ) -> Optional[Allocation]:
         topo = self.topology
         attach_keys = [
-            (parent, v) for v in topo.neighbors(parent) if topo.is_switch(v)
+            (parent, v)
+            for v in topo.neighbors_cached(parent)
+            if topo.is_switch(v)
         ]
         for first_key in attach_keys:
             if self.remaining(first_key) <= 0:
@@ -293,7 +333,7 @@ class IndirectAllocationGraph(AllocationGraph):
                         for key in route:
                             self._consume(key)
                         return Allocation(parent, child, route)
-                    for nxt in topo.neighbors(switch):
+                    for nxt in topo.neighbors_cached(switch):
                         if not topo.is_switch(nxt) or nxt in visited:
                             continue
                         key = (switch, nxt)
@@ -307,7 +347,7 @@ class IndirectAllocationGraph(AllocationGraph):
         self, switch: int, path: List[LinkKey], eligible: Callable[[int], bool]
     ) -> Optional[int]:
         topo = self.topology
-        for child in topo.neighbors(switch):
+        for child in topo.neighbors_cached(switch):
             if topo.is_switch(child):
                 continue
             if not eligible(child):

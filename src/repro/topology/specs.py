@@ -1,0 +1,58 @@
+"""Textual topology specs shared by the CLI and the parallel sweep runner.
+
+A spec names a topology family and its dimensions either split
+(``"torus"``, ``"4x4"``) or combined (``"torus-4x4"``).  Specs are plain
+strings, so sweep jobs stay picklable across multiprocessing workers —
+each worker rebuilds its topology from the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Topology
+from .bigraph import BiGraph
+from .fattree import FatTree
+from .grid import Mesh2D, Torus2D
+from .ring1d import Ring1D
+from .torus3d import Torus3D
+
+TOPOLOGY_HELP = (
+    "torus WxH | mesh WxH | torus3d WxHxD | ring1d N | "
+    "fattree LEAVESxNODES | bigraph SWITCHES_PER_LAYERxNODES_PER_SWITCH"
+)
+
+
+def parse_topology(kind: str, dims: str) -> Topology:
+    try:
+        parts = [int(p) for p in dims.lower().split("x")]
+    except ValueError:
+        raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
+    builders = {
+        "torus": lambda: Torus2D(*parts),
+        "mesh": lambda: Mesh2D(*parts),
+        "torus3d": lambda: Torus3D(*parts),
+        "ring1d": lambda: Ring1D(parts[0]),
+        "fattree": lambda: FatTree(*parts),
+        "bigraph": lambda: BiGraph(*parts),
+    }
+    try:
+        builder = builders[kind]
+    except KeyError:
+        raise SystemExit("unknown topology %r (choose: %s)" % (kind, TOPOLOGY_HELP))
+    try:
+        return builder()
+    except TypeError:
+        raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
+
+
+def parse_topology_spec(spec: str, dims: Optional[str] = None) -> Topology:
+    """Parse either split form (``torus``, ``4x4``) or combined ``torus-4x4``."""
+    if dims:
+        return parse_topology(spec, dims)
+    kind, sep, joined = spec.partition("-")
+    if not sep:
+        raise SystemExit(
+            "topology %r needs dimensions (e.g. torus-4x4 or --dims 4x4)" % spec
+        )
+    return parse_topology(kind, joined)

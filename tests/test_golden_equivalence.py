@@ -1,0 +1,150 @@
+"""Golden-equivalence: optimized fast paths vs the preserved seed code.
+
+The fast-path overhaul (scalable tree construction, simulator hot-loop
+optimization, row-snapshot all-reduce, cached schedule lowering) must not
+change a single bit of any result.  These tests pin that contract against
+the seed implementations preserved in ``repro.bench.reference`` on all
+four topology families, using exact ``==`` comparisons throughout — no
+approx, no tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    reference_all_reduce,
+    reference_build_messages,
+    reference_build_trees,
+    reference_dependency_lists,
+    reference_multitree_schedule,
+    reference_run,
+    reference_simulate_allreduce,
+    reference_step_estimates,
+    reference_step_gates,
+)
+from repro.collectives import build_schedule, build_trees
+from repro.network import MessageBased, NetworkSimulator, PacketBased
+from repro.ni import (
+    build_messages,
+    dependency_lists,
+    simulate_allreduce,
+    step_estimates,
+    step_gates,
+)
+from repro.runtime import Communicator
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+
+KiB = 1024
+MiB = 1 << 20
+
+TOPOLOGIES = [
+    pytest.param(lambda: Torus2D(4, 4), id="torus-4x4"),
+    pytest.param(lambda: Torus2D(4, 8), id="torus-4x8"),
+    pytest.param(lambda: Mesh2D(4, 4), id="mesh-4x4"),
+    pytest.param(lambda: FatTree(4, 4), id="fattree-16n"),
+    pytest.param(lambda: BiGraph(2, 8), id="bigraph-32n"),
+]
+
+
+@pytest.mark.parametrize("make_topo", TOPOLOGIES)
+@pytest.mark.parametrize("priority", ["root-id", "most-remaining"])
+class TestConstructionEquivalence:
+    def test_trees_bit_identical(self, make_topo, priority):
+        topo = make_topo()
+        fast_trees, fast_tot = build_trees(topo, priority)
+        ref_trees, ref_tot = reference_build_trees(topo, priority)
+        assert fast_tot == ref_tot
+        for fast, ref in zip(fast_trees, ref_trees):
+            assert fast.root == ref.root
+            assert fast.edges == ref.edges  # parent, child, step, AND route
+            assert fast.added_step == ref.added_step
+            assert fast.order == ref.order
+
+    def test_schedule_ops_identical(self, make_topo, priority):
+        topo = make_topo()
+        fast = build_schedule("multitree", topo, priority=priority)
+        ref = reference_multitree_schedule(topo, priority)
+        assert fast.ops == ref.ops
+        assert fast.metadata == ref.metadata
+
+
+@pytest.mark.parametrize("make_topo", TOPOLOGIES)
+class TestSimulatorEquivalence:
+    @pytest.mark.parametrize("fc_factory", [PacketBased, MessageBased])
+    def test_run_bit_identical(self, make_topo, fc_factory):
+        topo = make_topo()
+        fc = fc_factory()
+        schedule = build_schedule("multitree", topo)
+        messages = build_messages(schedule, 2 * MiB, fc)
+        fast = NetworkSimulator(topo, fc).run(messages)
+        ref = reference_run(topo, fc, messages)
+        assert fast.finish_time == ref.finish_time
+        assert fast.total_wire_bytes == ref.total_wire_bytes
+        assert fast.link_busy == ref.link_busy
+        assert fast.timings == ref.timings  # ready/inject/deliver/ideal, all ==
+
+    def test_lowering_identical(self, make_topo):
+        topo = make_topo()
+        schedule = build_schedule("multitree", topo)
+        fc = PacketBased()
+        assert dependency_lists(schedule) == reference_dependency_lists(schedule)
+        assert step_estimates(schedule, 2 * MiB, fc) == reference_step_estimates(
+            schedule, 2 * MiB, fc
+        )
+        assert step_gates(schedule, 2 * MiB, fc) == reference_step_gates(
+            schedule, 2 * MiB, fc
+        )
+        fast_msgs = build_messages(schedule, 2 * MiB, fc)
+        ref_msgs = reference_build_messages(schedule, 2 * MiB, fc)
+        for fast, ref in zip(fast_msgs, ref_msgs):
+            assert fast.payload_bytes == ref.payload_bytes
+            assert list(fast.route) == list(ref.route)
+            assert list(fast.deps) == list(ref.deps)
+            assert fast.not_before == ref.not_before
+
+    @pytest.mark.parametrize("size", [32 * KiB, 2 * MiB])
+    def test_end_to_end_predict_identical(self, make_topo, size):
+        topo = make_topo()
+        fast_sched = build_schedule("multitree", topo)
+        ref_sched = reference_multitree_schedule(topo)
+        fast = simulate_allreduce(fast_sched, size, PacketBased())
+        ref = reference_simulate_allreduce(ref_sched, size, PacketBased())
+        assert fast.time == ref.finish_time
+
+
+@pytest.mark.parametrize("make_topo", TOPOLOGIES)
+@pytest.mark.parametrize("algorithm", ["multitree", "ring"])
+class TestAllReduceNumericsEquivalence:
+    def test_row_snapshot_bit_identical(self, make_topo, algorithm):
+        topo = make_topo()
+        comm = Communicator(topo, algorithm)
+        rng = np.random.default_rng(seed=topo.num_nodes)
+        data = rng.standard_normal((topo.num_nodes, 96), dtype=np.float32)
+        reduced, _timing = comm.all_reduce(data)
+        expected = reference_all_reduce(comm.schedule, data)
+        # Bit-identical, not just close: same reduction order per element.
+        assert np.array_equal(reduced, expected)
+        assert reduced.dtype == expected.dtype
+
+
+class TestRepeatedCallsStableUnderCaching:
+    def test_second_simulation_identical(self):
+        # The lowering caches (deps, routes, ser profile) must not leak
+        # state between calls at different sizes.
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("multitree", topo)
+        first = [simulate_allreduce(schedule, s, PacketBased()).time
+                 for s in (32 * KiB, 2 * MiB)]
+        second = [simulate_allreduce(schedule, s, PacketBased()).time
+                  for s in (32 * KiB, 2 * MiB)]
+        assert first == second
+
+    def test_all_reduce_repeat_identical(self):
+        topo = Mesh2D(4, 4)
+        comm = Communicator(topo, "multitree")
+        rng = np.random.default_rng(seed=7)
+        data = rng.standard_normal((16, 64), dtype=np.float32)
+        out1, t1 = comm.all_reduce(data)
+        out2, t2 = comm.all_reduce(data)
+        assert np.array_equal(out1, out2)
+        assert t1.time == t2.time

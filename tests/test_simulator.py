@@ -210,14 +210,26 @@ class TestUtilizationEdgeCases:
             [Message(0, 0, 1024, route=[])]
         )
         assert res.finish_time == 0.0
-        assert res.link_utilization(topo) == {}
+        assert res.link_utilization(topo) == {key: 0.0 for key in topo.links}
         assert res.mean_link_utilization(topo) == 0.0
 
     def test_empty_run_zero_utilization(self):
         topo = Torus2D(4, 4)
         res = NetworkSimulator(topo, IdealFlow()).run([])
-        assert res.link_utilization(topo) == {}
+        assert res.link_utilization(topo) == {key: 0.0 for key in topo.links}
         assert res.mean_link_utilization(topo) == 0.0
+
+    def test_utilization_reports_every_link_of_topology(self):
+        # Regression: the "per link" promise covers idle links too — a run
+        # that touches one link still reports 0.0 for every other link.
+        topo = Torus2D(4, 4)
+        res = NetworkSimulator(topo, IdealFlow()).run(
+            [Message(0, 1, 16 * 1024, route=[(0, 1)])]
+        )
+        util = res.link_utilization(topo)
+        assert set(util) == set(topo.links)
+        assert util[(0, 1)] > 0.0
+        assert all(v == 0.0 for key, v in util.items() if key != (0, 1))
 
     def test_mean_counts_idle_links(self):
         # One busy link out of the whole torus: the mean is the per-link
@@ -227,7 +239,6 @@ class TestUtilizationEdgeCases:
             [Message(0, 1, 16 * 1024, route=[(0, 1)])]
         )
         util = res.link_utilization(topo)
-        assert set(util) == {(0, 1)}
         expected_mean = (
             util[(0, 1)]
             * topo.link(0, 1).capacity

@@ -1,0 +1,147 @@
+"""repro.sweep: prediction cache keying/persistence and the sweep runner."""
+
+import json
+
+import pytest
+
+from repro.analysis import sweep_bandwidth
+from repro.collectives import build_schedule
+from repro.network import MessageBased, PacketBased
+from repro.sweep import (
+    PredictionCache,
+    SweepJob,
+    prediction_key,
+    run_job,
+    run_sweep,
+    sweep_bandwidth_cached,
+    topology_fingerprint,
+)
+from repro.topology import Ring1D, Torus2D
+
+KiB = 1024
+SIZES = (32 * KiB, 256 * KiB)
+
+
+class TestPredictionKey:
+    def test_key_varies_with_every_axis(self):
+        torus = Torus2D(4, 4)
+        base = prediction_key(torus, "multitree", PacketBased(), 32 * KiB, True)
+        assert base != prediction_key(torus, "ring", PacketBased(), 32 * KiB, True)
+        assert base != prediction_key(torus, "multitree", MessageBased(), 32 * KiB, True)
+        assert base != prediction_key(torus, "multitree", PacketBased(), 64 * KiB, True)
+        assert base != prediction_key(torus, "multitree", PacketBased(), 32 * KiB, False)
+        assert base != prediction_key(
+            Torus2D(4, 8), "multitree", PacketBased(), 32 * KiB, True
+        )
+
+    def test_fingerprint_sees_link_parameters(self):
+        # Same shape, different link bandwidth -> different fingerprint.
+        a = Ring1D(8)
+        b = Ring1D(8, bandwidth=1e9)
+        assert topology_fingerprint(a) != topology_fingerprint(b)
+        assert topology_fingerprint(a) == topology_fingerprint(Ring1D(8))
+
+    def test_flow_control_parameters_in_key(self):
+        torus = Torus2D(4, 4)
+        k256 = prediction_key(torus, "ring", PacketBased(), 32 * KiB, True)
+        k64 = prediction_key(
+            torus, "ring", PacketBased(payload_bytes=64), 32 * KiB, True
+        )
+        assert k256 != k64
+
+
+class TestPredictionCache:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = PredictionCache(path)
+        cache.put("k1", time=1.5e-5, bandwidth=2e9, max_queue_delay=0.0)
+        cache.save()
+        reloaded = PredictionCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get("k1")["time"] == 1.5e-5
+        assert reloaded.hits == 1
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = PredictionCache(str(path))
+        assert len(cache) == 0
+
+    def test_save_merges_with_disk(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        a = PredictionCache(path)
+        b = PredictionCache(path)
+        a.put("ka", time=1.0, bandwidth=1.0, max_queue_delay=0.0)
+        a.save()
+        b.put("kb", time=2.0, bandwidth=2.0, max_queue_delay=0.0)
+        b.save()  # must not clobber a's entry
+        merged = PredictionCache(path)
+        assert "ka" in merged and "kb" in merged
+
+    def test_unwritten_save_is_noop(self, tmp_path):
+        path = str(tmp_path / "never.json")
+        PredictionCache(path).save()
+        assert not (tmp_path / "never.json").exists()
+
+
+class TestCachedSweep:
+    def test_matches_uncached_sweep_exactly(self, tmp_path):
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("multitree", topo)
+        cache = PredictionCache(str(tmp_path / "c.json"))
+        cached = sweep_bandwidth_cached(schedule, SIZES, PacketBased(), cache=cache)
+        plain = sweep_bandwidth(schedule, SIZES, PacketBased())
+        for c, p in zip(cached.points, plain.points):
+            assert c.time == p.time
+            assert c.bandwidth == p.bandwidth
+            assert c.max_queue_delay == p.max_queue_delay
+
+    def test_second_pass_is_all_hits(self, tmp_path):
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("multitree", topo)
+        cache = PredictionCache(str(tmp_path / "c.json"))
+        first = sweep_bandwidth_cached(schedule, SIZES, PacketBased(), cache=cache)
+        assert cache.misses == len(SIZES)
+        warm = sweep_bandwidth_cached(schedule, SIZES, PacketBased(), cache=cache)
+        assert cache.hits == len(SIZES)
+        assert [p.time for p in warm.points] == [p.time for p in first.points]
+
+
+class TestRunner:
+    def test_multitree_msg_shorthand(self):
+        sweep = run_job(SweepJob("torus-4x4", "multitree-msg", SIZES))
+        assert sweep.algorithm == "multitree-msg"
+        assert len(sweep.points) == len(SIZES)
+
+    def test_unknown_flow_control_rejected(self):
+        with pytest.raises(ValueError):
+            SweepJob("torus-4x4", "ring", SIZES, flow_control="wormhole").resolve()
+
+    def test_serial_and_parallel_agree(self, tmp_path):
+        jobs = [
+            SweepJob("torus-4x4", "ring", SIZES),
+            SweepJob("torus-4x4", "multitree", SIZES),
+        ]
+        serial = run_sweep(jobs)
+        parallel = run_sweep(jobs, processes=2,
+                             cache_path=str(tmp_path / "c.json"))
+        for s, p in zip(serial, parallel):
+            assert s.algorithm == p.algorithm
+            assert [pt.time for pt in s.points] == [pt.time for pt in p.points]
+        # The parallel run persisted every computed point.
+        entries = json.loads((tmp_path / "c.json").read_text())["entries"]
+        assert len(entries) == len(jobs) * len(SIZES)
+
+    def test_warm_cache_skips_construction(self, tmp_path):
+        cache_path = str(tmp_path / "c.json")
+        job = SweepJob("torus-4x4", "multitree", SIZES)
+        cold = run_sweep([job], cache_path=cache_path)[0]
+        cache = PredictionCache(cache_path)
+        warm = run_job(job, cache)
+        assert cache.hits == len(SIZES) and cache.misses == 0
+        assert [p.bandwidth for p in warm.points] == [
+            p.bandwidth for p in cold.points
+        ]
+
+    def test_empty_job_list(self):
+        assert run_sweep([]) == []
