@@ -5,11 +5,19 @@ Commands
 ``sweep``    all-reduce bandwidth across data sizes (a Fig. 9 panel);
              ``--jobs``/``--cache`` run it parallel and memoized
 ``bench``    the fast-path micro-benchmark harness (BENCH_<date>.json)
+``report``   cross-run comparison dashboard + regression gate (``--check``)
 ``trees``    print MultiTree construction and NI schedule tables (Fig. 3/5)
 ``train``    one training iteration for a DNN workload (Fig. 11 rows)
 ``trace``    simulate one all-reduce with full event tracing and diagnosis
 ``table1``   the measured Table I
 ``list``     available topologies, algorithms and DNN models
+
+Global options (before the command): ``--metrics-out PATH`` collects
+aggregate telemetry for the run and writes it as JSON (``.json``) or
+Prometheus text exposition (anything else); ``--manifest PATH`` appends a
+self-describing JSON-lines run manifest (config fingerprint, version, git
+SHA, wall time, metric snapshot) that ``repro report`` can diff across
+runs.  Either flag turns metric collection on; it is off by default.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .analysis import format_bandwidth_table, format_table1, measure_table1, sweep_bandwidth
@@ -30,9 +39,19 @@ from .bench import (
 )
 from .collectives import ALGORITHMS, build_schedule, build_trees
 from .compute import MODEL_BUILDERS, get_model
+from .metrics import (
+    MetricsRegistry,
+    append_manifest,
+    build_manifest,
+    collecting,
+    get_registry,
+    repro_version,
+    write_metrics,
+)
+from .metrics.report import run_report
 from .network import MessageBased, PacketBased
 from .ni import build_schedule_tables, simulate_allreduce
-from .sweep import SweepJob, run_sweep
+from .sweep import SweepJob, SweepStats, record_sweep_metrics, run_sweep
 from .topology.specs import TOPOLOGY_HELP, parse_topology, parse_topology_spec
 from .trace import Trace, format_trace_report, write_chrome_trace
 from .training import nonoverlapped_iteration, overlapped_iteration
@@ -58,13 +77,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.dims)
     sizes = [parse_size(s) for s in args.sizes.split(",")]
     algorithms = [a.strip() for a in args.algorithms.split(",")]
+    stats = None
     if args.jobs > 1 or args.cache:
         spec = "%s-%s" % (args.topology, args.dims)
         jobs = [
             SweepJob(topology=spec, algorithm=algorithm, sizes=tuple(sizes))
             for algorithm in algorithms
         ]
-        sweeps = run_sweep(jobs, processes=args.jobs, cache_path=args.cache)
+        stats = SweepStats()
+        sweeps = run_sweep(
+            jobs, processes=args.jobs, cache_path=args.cache, stats=stats
+        )
     else:
         sweeps = []
         for algorithm in algorithms:
@@ -78,13 +101,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else:
                 schedule = build_schedule(algorithm, topology)
                 sweeps.append(sweep_bandwidth(schedule, sizes, PacketBased()))
+        registry = get_registry()
+        if registry is not None:
+            for sweep in sweeps:
+                record_sweep_metrics(registry, sweep)
     print("all-reduce bandwidth on %s" % topology.name)
     print(format_bandwidth_table(sweeps))
+    if stats is not None:
+        print(stats.format())
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     report = run_bench(quick=args.quick, repeat=args.repeat)
+    registry = get_registry()
+    if registry is not None:
+        # Speedups are the machine-independent tracked metric; manifests
+        # carry them so `repro report --check` can gate on drift.
+        for name, entry in report["results"].items():
+            registry.gauge("bench.speedup", benchmark=name).set(entry["speedup"])
+            registry.gauge("bench.optimized_s", benchmark=name).set(
+                entry["optimized_s"]
+            )
+            registry.gauge("bench.reference_s", benchmark=name).set(
+                entry["reference_s"]
+            )
     print(format_report(report))
     output = args.output or default_report_path(report)
     write_report(report, output)
@@ -176,6 +217,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    text, regressions = run_report(
+        args.files,
+        bench_baseline_path=args.bench_baseline,
+        threshold=args.threshold,
+        max_bench_regression=args.max_bench_regression,
+        baseline_run=args.baseline_run,
+    )
+    print(text)
+    if regressions:
+        for regression in regressions:
+            print("REGRESSION: %s" % regression, file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     print(format_table1(measure_table1()))
     return 0
@@ -192,6 +250,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MultiTree all-reduce co-design (ISCA 2021) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + repro_version()
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="collect aggregate telemetry and write it here "
+             "(.json = JSON snapshot, else Prometheus text exposition)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="collect telemetry and append a JSON-lines run manifest "
+             "(config fingerprint, version, git SHA, metric snapshot)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -229,6 +300,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional speedup drop vs baseline (default 0.25)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "report",
+        help="comparison dashboard + regression gate over run manifests "
+             "and BENCH_*.json reports",
+    )
+    p.add_argument(
+        "files", nargs="+",
+        help="run-manifest .jsonl files and/or BENCH_*.json harness reports",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any tracked metric regresses past threshold",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="allowed fractional bandwidth drop vs the baseline run "
+             "(default 0.05)",
+    )
+    p.add_argument(
+        "--bench-baseline", default=None, metavar="PATH",
+        help="committed BENCH_*.json to gate bench speedups against",
+    )
+    p.add_argument(
+        "--max-bench-regression", type=float, default=0.25,
+        help="allowed fractional speedup drop vs the bench baseline "
+             "(default 0.25)",
+    )
+    p.add_argument(
+        "--baseline-run", default=None, metavar="RUN_ID",
+        help="run_id to use as baseline (default: earliest manifest record)",
+    )
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("trees", help="print MultiTree construction (Fig. 3/5)")
     p.add_argument("--topology", default="mesh")
@@ -271,9 +375,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _manifest_labels(args: argparse.Namespace) -> dict:
+    """Topology/algorithm/size-style labels harvested from the parsed args."""
+    skip = {"func", "command", "metrics_out", "manifest", "files"}
+    labels = {}
+    for key, value in sorted(vars(args).items()):
+        if key in skip or value is None or callable(value):
+            continue
+        labels[key] = str(value)
+    return labels
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if not args.metrics_out and not args.manifest:
+        return args.func(args)
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    with collecting(registry):
+        rc = args.func(args)
+    wall = time.perf_counter() - start
+    if args.metrics_out:
+        write_metrics(registry, args.metrics_out)
+        print("wrote metrics to %s" % args.metrics_out)
+    if args.manifest:
+        record = build_manifest(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            labels=_manifest_labels(args),
+            wall_time_s=wall,
+            registry=registry,
+        )
+        append_manifest(args.manifest, record)
+        print("appended run %s to %s" % (record["run_id"], args.manifest))
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,7 +1,9 @@
 """All-reduce communication algorithms lowering to a common schedule IR."""
 
+import time
 from typing import Callable, Dict
 
+from ..metrics.registry import get_registry
 from ..topology.base import Topology
 from .butterfly import butterfly_allreduce
 from .dbtree import BinaryTree, dbtree_allreduce, double_binary_trees
@@ -53,7 +55,18 @@ def build_schedule(algorithm: str, topology: Topology, **kwargs) -> Schedule:
         raise ValueError(
             "unknown algorithm %r; choose from %s" % (algorithm, sorted(ALGORITHMS))
         )
-    return builder(topology, **kwargs)
+    registry = get_registry()
+    if registry is None:
+        return builder(topology, **kwargs)
+    start = time.perf_counter()
+    schedule = builder(topology, **kwargs)
+    elapsed = time.perf_counter() - start
+    labels = {"algorithm": algorithm, "topology": topology.name}
+    registry.counter("schedule.builds", **labels).inc()
+    registry.histogram("schedule.build_time", **labels).observe(elapsed)
+    registry.gauge("schedule.steps", **labels).set(schedule.num_steps)
+    registry.gauge("schedule.ops", **labels).set(len(schedule.ops))
+    return schedule
 
 
 __all__ = [

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..metrics.registry import get_registry
 from ..topology.base import Allocation, LinkKey, Topology
 from .schedule import ChunkRange, CommOp, OpKind, Schedule
 
@@ -196,6 +197,22 @@ def build_trees(
                     stalled.add(tree.root)  # cannot reconnect this step
         if step > 4 * n:  # safety net; never triggered on connected graphs
             raise RuntimeError("MultiTree construction did not converge")
+    registry = get_registry()
+    if registry is not None:
+        labels = {"topology": topology.name, "priority": priority}
+        registry.counter("multitree.builds", **labels).inc()
+        registry.gauge("multitree.build_steps", **labels).set(step)
+        registry.gauge("multitree.trees", **labels).set(len(trees))
+        depth_hist = registry.histogram("multitree.tree_depth", **labels)
+        branch_hist = registry.histogram("multitree.tree_branching", **labels)
+        for tree in trees:
+            depth_hist.observe(tree.depth())
+            branch_hist.observe(
+                max(
+                    (len(kids) for kids in tree._children.values()),
+                    default=0,
+                )
+            )
     return trees, step
 
 

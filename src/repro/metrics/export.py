@@ -1,0 +1,101 @@
+"""Registry exporters: JSON and Prometheus text exposition.
+
+Two formats cover the two consumers:
+
+* **JSON** — the registry snapshot verbatim, for run manifests, the
+  ``repro report`` dashboard, and ad-hoc scripting;
+* **Prometheus text exposition** (version 0.0.4) — for scraping a
+  long-running service that embeds this package.  Metric names are
+  sanitized (``sim.queue_delay`` → ``repro_sim_queue_delay``); histograms
+  export cumulative ``_bucket`` lines whose ``le`` bounds are the
+  power-of-two ladder of :class:`repro.metrics.registry.Histogram`, plus
+  ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict
+
+from .registry import MetricsRegistry, parse_key
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (_NAME_RE.sub("_", k), str(v).replace('"', '\\"'))
+        for k, v in sorted(labels.items())
+    )
+    return "{%s}" % body
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The registry snapshot as pretty, key-sorted JSON."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Prometheus text-exposition rendering of every metric."""
+    lines = []
+    typed = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append("# TYPE %s %s" % (name, kind))
+
+    snap = registry.snapshot()
+    for key, value in snap["counters"].items():
+        base, labels = parse_key(key)
+        name = _prom_name(base, prefix) + "_total"
+        declare(name, "counter")
+        lines.append("%s%s %s" % (name, _prom_labels(labels), _fmt(value)))
+    for key, value in snap["gauges"].items():
+        base, labels = parse_key(key)
+        name = _prom_name(base, prefix)
+        declare(name, "gauge")
+        lines.append("%s%s %s" % (name, _prom_labels(labels), _fmt(value)))
+    for key, payload in snap["histograms"].items():
+        base, labels = parse_key(key)
+        name = _prom_name(base, prefix)
+        declare(name, "histogram")
+        cumulative = 0
+        for exp_text, count in sorted(
+            payload["buckets"].items(), key=lambda kv: int(kv[0])
+        ):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _fmt(2.0 ** int(exp_text))
+            lines.append(
+                "%s_bucket%s %d" % (name, _prom_labels(bucket_labels), cumulative)
+            )
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(
+            "%s_bucket%s %d" % (name, _prom_labels(inf_labels), payload["count"])
+        )
+        lines.append("%s_sum%s %s" % (name, _prom_labels(labels), _fmt(payload["sum"])))
+        lines.append("%s_count%s %d" % (name, _prom_labels(labels), payload["count"]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry to ``path``: JSON for ``.json``, Prometheus else."""
+    if path.endswith(".json"):
+        text = to_json(registry) + "\n"
+    else:
+        text = to_prometheus(registry)
+    with open(path, "w") as fh:
+        fh.write(text)

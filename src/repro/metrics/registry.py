@@ -1,0 +1,269 @@
+"""Label-keyed counter/gauge/histogram registry, mergeable across processes.
+
+Where :mod:`repro.trace` records *per-event* timelines of one simulation,
+this module keeps *aggregate* telemetry across any number of simulations,
+schedule builds, sweep jobs and cache probes: monotonically increasing
+counters, point-in-time gauges, and bucketed histograms, each keyed by a
+metric name plus a sorted label set (``topology=torus-8x8`` etc.).
+
+Collection is strictly opt-in and ambient: instrumented sites call
+:func:`get_registry` and do nothing when it returns ``None`` — the default.
+Install a registry for a region of code with :func:`collecting`::
+
+    with collecting() as reg:
+        simulate_allreduce(schedule, 16 * MiB, PacketBased())
+    print(to_prometheus(reg))
+
+Every instrumented site records *after* its computation finishes, from
+already-computed values, so enabling metrics cannot perturb simulated
+timings — results are bit-identical with and without a registry (asserted
+by the golden-equivalence metric tests).
+
+Registries serialize to plain-JSON snapshots (:meth:`MetricsRegistry.snapshot`)
+and merge (:meth:`MetricsRegistry.merge_snapshot`) with well-defined
+semantics — counters sum, gauges keep the maximum, histograms merge
+bucket-wise — which is what lets ``multiprocessing`` sweep workers each
+collect locally and the parent fold all worker snapshots into one view.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Bump when the snapshot layout changes incompatibly.
+REGISTRY_SCHEMA_VERSION = 1
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def metric_key(name: str, labels: Dict[str, str]) -> str:
+    """Canonical string key: ``name|k1=v1,k2=v2`` with sorted label names."""
+    if not labels:
+        return name
+    return "%s|%s" % (
+        name, ",".join("%s=%s" % (k, labels[k]) for k in sorted(labels))
+    )
+
+
+def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`metric_key`."""
+    name, _, tail = key.partition("|")
+    labels: Dict[str, str] = {}
+    if tail:
+        for part in tail.split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Counter:
+    """Monotonically increasing sum; merge semantics: addition."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value; merge semantics: maximum.
+
+    Max (not last-write) merging keeps cross-process folds deterministic —
+    worker snapshots arrive in pool order, which carries no meaning.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Power-of-two bucketed distribution; merge semantics: bucket-wise sum.
+
+    Buckets are keyed by the binary exponent of the observed value (via
+    ``math.frexp``), so every process produces the identical bucket ladder
+    and merging is exact.  ``count``/``sum``/``min``/``max`` ride along for
+    means and ranges.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exp = math.frexp(value)[1] if value > 0 else 0
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(exp): n for exp, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one process (or one merged view of many)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access / creation -------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram()
+        return metric
+
+    # -- read-only views ---------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, float]:
+        return {key: c.value for key, c in self._counters.items()}
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return {key: g.value for key, g in self._gauges.items()}
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        metric = self._counters.get(metric_key(name, labels))
+        return metric.value if metric is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: str) -> Optional[float]:
+        metric = self._gauges.get(metric_key(name, labels))
+        return metric.value if metric is not None else None
+
+    def gauges_named(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        """All (labels, value) pairs of gauges called ``name``."""
+        out = []
+        for key, gauge in self._gauges.items():
+            base, labels = parse_key(key)
+            if base == name:
+                out.append((labels, gauge.value))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- serialization / merging -------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-JSON view of every metric (stable key order)."""
+        return {
+            "schema": REGISTRY_SCHEMA_VERSION,
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].to_dict()
+                           for k in sorted(self._histograms)},
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Counters sum, gauges keep the max, histograms merge bucket-wise —
+        so merging N disjoint worker snapshots equals having collected
+        everything in one process, regardless of merge order.
+        """
+        for key, value in (snapshot.get("counters") or {}).items():
+            name, labels = parse_key(key)
+            self.counter(name, **labels).inc(value)
+        for key, value in (snapshot.get("gauges") or {}).items():
+            name, labels = parse_key(key)
+            existed = key in self._gauges
+            gauge = self.gauge(name, **labels)
+            if not existed or value > gauge.value:
+                gauge.set(value)
+        for key, payload in (snapshot.get("histograms") or {}).items():
+            name, labels = parse_key(key)
+            hist = self.histogram(name, **labels)
+            hist.count += int(payload.get("count", 0))
+            hist.sum += float(payload.get("sum", 0.0))
+            lo = payload.get("min")
+            hi = payload.get("max")
+            if lo is not None and lo < hist.min:
+                hist.min = lo
+            if hi is not None and hi > hist.max:
+                hist.max = hi
+            for exp, n in (payload.get("buckets") or {}).items():
+                exp = int(exp)
+                hist.buckets[exp] = hist.buckets.get(exp, 0) + int(n)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+
+# -- ambient registry (the opt-in switch) ----------------------------------
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The process-wide active registry, or ``None`` (collection off)."""
+    return _ACTIVE
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install ``registry`` as the ambient collector; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable metric collection for a ``with`` block; yields the registry."""
+    reg = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(previous)

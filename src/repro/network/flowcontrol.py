@@ -47,6 +47,16 @@ class FlowControl:
         payload_wire = self.payload_flits(payload_bytes) * self.flit_bytes
         return (self.wire_bytes(payload_bytes) - payload_wire) / payload_wire
 
+    def overhead_bytes(self, payload_bytes: float) -> float:
+        """Absolute framing overhead: wire bytes beyond the rounded payload.
+
+        For packet-based flow control this is the head-flit cost of Fig. 2
+        (one flit per packet); for message-based it is the single head flit.
+        The metrics layer accumulates this per simulated hop.
+        """
+        payload_wire = self.payload_flits(payload_bytes) * self.flit_bytes
+        return self.wire_bytes(payload_bytes) - payload_wire
+
     def serialization_time(self, payload_bytes: float, bandwidth: float) -> float:
         return self.wire_bytes(payload_bytes) / bandwidth
 

@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from ..metrics.registry import get_registry
 from ..topology.base import LinkKey, Topology
 from .flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
 
@@ -240,9 +241,57 @@ class NetworkSimulator:
                 "dependency deadlock: %d messages never became ready (first: %s)"
                 % (len(stuck), stuck[:5])
             )
-        return SimulationResult(
+        result = SimulationResult(
             finish_time=finish,
             timings=timings,
             link_busy=link_busy,
             total_wire_bytes=total_wire,
         )
+        registry = get_registry()
+        if registry is not None:
+            self._record_metrics(registry, messages, result)
+        return result
+
+    def _record_metrics(
+        self,
+        registry,
+        messages: List[Message],
+        result: SimulationResult,
+    ) -> None:
+        """Fold one finished run into the ambient metrics registry.
+
+        Runs strictly after the event loop, on already-computed values, so
+        collection cannot perturb simulated timings.
+        """
+        topo_label = self.topology.name
+        fc = self.flow_control
+        labels = {"topology": topo_label, "flow": fc.name}
+        registry.counter("sim.runs", **labels).inc()
+        registry.counter("sim.messages", **labels).inc(len(messages))
+        registry.counter("sim.wire_bytes", **labels).inc(result.total_wire_bytes)
+        registry.counter("sim.link_busy_time", **labels).inc(
+            sum(result.link_busy.values())
+        )
+        registry.gauge("sim.finish_time", **labels).set(result.finish_time)
+        queue_hist = registry.histogram("sim.queue_delay", **labels)
+        queue_total = 0.0
+        for timing in result.timings:
+            delay = timing.queue_delay
+            if delay > 0:
+                queue_hist.observe(delay)
+                queue_total += delay
+        registry.counter("sim.queue_delay_time", **labels).inc(queue_total)
+        # Head-flit (framing) overhead actually put on wires: per distinct
+        # payload, overhead bytes x the number of hops that carried it.
+        hops_by_payload: Dict[float, int] = {}
+        for msg in messages:
+            if msg.route:
+                hops_by_payload[msg.payload_bytes] = (
+                    hops_by_payload.get(msg.payload_bytes, 0) + len(msg.route)
+                )
+        overhead = sum(
+            fc.overhead_bytes(payload) * hops
+            for payload, hops in hops_by_payload.items()
+        )
+        registry.counter("fc.overhead_bytes", flow=fc.name,
+                         topology=topo_label).inc(overhead)

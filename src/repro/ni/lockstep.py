@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..collectives.schedule import Schedule
+from ..metrics.registry import get_registry
 from ..network.flowcontrol import FlowControl
 
 
@@ -60,6 +61,25 @@ def step_estimates(
     return est
 
 
+def _active_nodes_per_step(schedule: Schedule) -> Dict[int, int]:
+    """How many nodes send or receive at each step (cached on the schedule).
+
+    A node with no entry at a step holds a NOP in its Fig. 5 schedule
+    table; ``num_nodes - active`` is therefore the number of NOP entries
+    issued for that step.
+    """
+    counts = schedule.__dict__.get("_active_nodes_per_step")
+    if counts is None:
+        active: Dict[int, set] = {}
+        for op in schedule.ops:
+            nodes = active.setdefault(op.step, set())
+            nodes.add(op.src)
+            nodes.add(op.dst)
+        counts = {step: len(nodes) for step, nodes in active.items()}
+        schedule.__dict__["_active_nodes_per_step"] = counts
+    return counts
+
+
 def step_gates(
     schedule: Schedule, data_bytes: float, flow_control: FlowControl
 ) -> Dict[int, float]:
@@ -70,4 +90,26 @@ def step_gates(
     for step in range(1, schedule.num_steps + 1):
         gates[step] = clock
         clock += est.get(step, 0.0)
+    registry = get_registry()
+    if registry is not None:
+        # NOP stalls: node-steps spent idling at a lockstep gate while
+        # other nodes' ops of the same step serialize (§IV-A footnote 4).
+        labels = {
+            "topology": schedule.topology.name,
+            "algorithm": schedule.algorithm,
+        }
+        active = _active_nodes_per_step(schedule)
+        num_nodes = schedule.topology.num_nodes
+        nop_steps = 0
+        nop_time = 0.0
+        for step in range(1, schedule.num_steps + 1):
+            idle = num_nodes - active.get(step, 0)
+            if idle > 0:
+                nop_steps += idle
+                nop_time += idle * est.get(step, 0.0)
+        registry.counter("lockstep.gated_runs", **labels).inc()
+        registry.counter("lockstep.steps", **labels).inc(schedule.num_steps)
+        registry.counter("lockstep.nop_stalls", **labels).inc(nop_steps)
+        registry.counter("lockstep.nop_stall_time", **labels).inc(nop_time)
+        registry.gauge("lockstep.span", **labels).set(clock)
     return gates

@@ -14,7 +14,9 @@ from .cache import (
 from .runner import (
     FLOW_CONTROLS,
     SweepJob,
+    SweepStats,
     predict_cached,
+    record_sweep_metrics,
     run_job,
     run_sweep,
     sweep_bandwidth_cached,
@@ -25,8 +27,10 @@ __all__ = [
     "FLOW_CONTROLS",
     "PredictionCache",
     "SweepJob",
+    "SweepStats",
     "predict_cached",
     "prediction_key",
+    "record_sweep_metrics",
     "run_job",
     "run_sweep",
     "sweep_bandwidth_cached",

@@ -15,18 +15,54 @@ and a crashed worker costs only its own points.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import BandwidthSweep, SweepPoint
 from ..collectives import build_schedule
 from ..collectives.schedule import Schedule
+from ..metrics.registry import MetricsRegistry, collecting, get_registry
 from ..network.flowcontrol import FlowControl, MessageBased, PacketBased
 from ..ni.injector import simulate_allreduce
 from ..topology.specs import parse_topology_spec
 from .cache import PredictionCache, prediction_key
 
 FLOW_CONTROLS = {"packet": PacketBased, "message": MessageBased}
+
+
+@dataclass
+class SweepStats:
+    """Aggregate accounting of one :func:`run_sweep` invocation.
+
+    Pass an instance as ``stats`` to have it populated in place; the CLI
+    surfaces these numbers after every cached/parallel sweep.
+    """
+
+    jobs: int = 0
+    points: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_entries: int = 0
+    workers: int = 1
+    wall_time_s: float = 0.0
+    #: Per-job worker wall time, in job order.
+    job_times_s: List[float] = field(default_factory=list)
+
+    def format(self) -> str:
+        parts = [
+            "%d jobs / %d points in %.2fs across %d worker%s"
+            % (self.jobs, self.points, self.wall_time_s, self.workers,
+               "" if self.workers == 1 else "s")
+        ]
+        probes = self.cache_hits + self.cache_misses
+        if probes:
+            parts.append(
+                "cache: %d hits, %d misses (%.0f%% hit rate, %d entries on disk)"
+                % (self.cache_hits, self.cache_misses,
+                   100.0 * self.cache_hits / probes, self.cache_entries)
+            )
+        return "; ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -113,12 +149,35 @@ def sweep_bandwidth_cached(
     return sweep
 
 
+def record_sweep_metrics(registry: MetricsRegistry, sweep: BandwidthSweep) -> None:
+    """Publish a sweep's bandwidth points as labeled gauges.
+
+    These gauges are what run manifests carry and what ``repro report``
+    diffs across runs, so every path that produces a sweep records them.
+    """
+    for point in sweep.points:
+        registry.gauge(
+            "bandwidth",
+            topology=sweep.topology,
+            algorithm=sweep.algorithm,
+            size=str(point.data_bytes),
+        ).set(point.bandwidth)
+        registry.gauge(
+            "allreduce_time",
+            topology=sweep.topology,
+            algorithm=sweep.algorithm,
+            size=str(point.data_bytes),
+        ).set(point.time)
+
+
 def run_job(
     job: SweepJob, cache: Optional[PredictionCache] = None
 ) -> BandwidthSweep:
     """Build the job's schedule (skipped if fully warm) and sweep it."""
+    start = time.perf_counter()
     algorithm, fc, label = job.resolve()
     topology = parse_topology_spec(job.topology)
+    sweep = None
     if cache is not None:
         # Schedule construction is itself expensive at scale; skip it
         # entirely when every requested point is already cached.
@@ -139,53 +198,124 @@ def run_job(
                         max_queue_delay=entry["max_queue_delay"],
                     )
                 )
-            return sweep
-    schedule = build_schedule(algorithm, topology)
-    return sweep_bandwidth_cached(
-        schedule, job.sizes, fc, job.lockstep, cache, label
-    )
+    if sweep is None:
+        schedule = build_schedule(algorithm, topology)
+        sweep = sweep_bandwidth_cached(
+            schedule, job.sizes, fc, job.lockstep, cache, label
+        )
+    registry = get_registry()
+    if registry is not None:
+        labels = {"topology": topology.name, "algorithm": label}
+        registry.counter("sweep.jobs", **labels).inc()
+        registry.counter("sweep.points", **labels).inc(len(sweep.points))
+        registry.histogram("sweep.job_time", **labels).observe(
+            time.perf_counter() - start
+        )
+        record_sweep_metrics(registry, sweep)
+    return sweep
 
 
 def _worker(
-    args: Tuple[SweepJob, Optional[str]]
-) -> Tuple[BandwidthSweep, Dict[str, Dict[str, float]]]:
-    """Pool entry point: run one job, return (sweep, newly cached entries)."""
-    job, cache_path = args
+    args: Tuple[SweepJob, Optional[str], bool]
+) -> Tuple[BandwidthSweep, Dict[str, Dict[str, float]], Dict[str, object]]:
+    """Pool entry point: run one job in its own process.
+
+    Returns ``(sweep, newly cached entries, report)`` where ``report``
+    carries the worker's cache hit/miss counts, wall time, and — when the
+    parent had metrics enabled — the worker's full registry snapshot for
+    the parent to merge (counters sum, histograms merge bucket-wise, so
+    the folded view equals single-process collection).
+    """
+    job, cache_path, collect_metrics = args
     cache = PredictionCache(cache_path) if cache_path else None
-    if cache is None:
-        return run_job(job), {}
-    before = set(cache.entries)
-    sweep = run_job(job, cache)
-    fresh = {k: v for k, v in cache.entries.items() if k not in before}
-    return sweep, fresh
+    before = set(cache.entries) if cache is not None else set()
+    start = time.perf_counter()
+    if collect_metrics:
+        with collecting() as registry:
+            sweep = run_job(job, cache)
+        snapshot = registry.snapshot()
+    else:
+        sweep = run_job(job, cache)
+        snapshot = None
+    report: Dict[str, object] = {
+        "hits": cache.hits if cache is not None else 0,
+        "misses": cache.misses if cache is not None else 0,
+        "job_time_s": time.perf_counter() - start,
+        "metrics": snapshot,
+    }
+    fresh = (
+        {k: v for k, v in cache.entries.items() if k not in before}
+        if cache is not None
+        else {}
+    )
+    return sweep, fresh, report
 
 
 def run_sweep(
     jobs: Sequence[SweepJob],
     processes: Optional[int] = None,
     cache_path: Optional[str] = None,
+    stats: Optional[SweepStats] = None,
 ) -> List[BandwidthSweep]:
     """Run jobs, optionally in parallel, returning sweeps in job order.
 
     ``processes``: ``None``/``0``/``1`` runs serially in-process; larger
     values use a ``multiprocessing.Pool``.  With ``cache_path``, the cache
     is consulted before simulating and persisted (atomically, merged with
-    concurrent writers) after all jobs finish.
+    concurrent writers) after all jobs finish.  Pass a :class:`SweepStats`
+    as ``stats`` to receive cache hit/miss counts, worker count and
+    per-job wall times.  When metric collection is active in the parent
+    (see :mod:`repro.metrics`), parallel workers each collect into a local
+    registry and the parent folds every worker snapshot into its own, so
+    aggregate telemetry is identical to a serial run.
     """
+    if stats is None:
+        stats = SweepStats()
+    stats.jobs = len(jobs)
     if not jobs:
         return []
+    registry = get_registry()
+    start = time.perf_counter()
     if processes is None or processes <= 1 or len(jobs) == 1:
         cache = PredictionCache(cache_path) if cache_path else None
-        sweeps = [run_job(job, cache) for job in jobs]
+        sweeps = []
+        for job in jobs:
+            t0 = time.perf_counter()
+            sweeps.append(run_job(job, cache))
+            stats.job_times_s.append(time.perf_counter() - t0)
         if cache is not None:
+            stats.cache_hits = cache.hits
+            stats.cache_misses = cache.misses
             cache.save()
-        return sweeps
-    with multiprocessing.Pool(min(processes, len(jobs))) as pool:
-        outcomes = pool.map(_worker, [(job, cache_path) for job in jobs])
-    sweeps = [sweep for sweep, _fresh in outcomes]
-    if cache_path:
-        cache = PredictionCache(cache_path)
-        for _sweep, fresh in outcomes:
-            cache.merge(fresh)
-        cache.save()
+            stats.cache_entries = len(cache)
+        stats.workers = 1
+    else:
+        workers = min(processes, len(jobs))
+        with multiprocessing.Pool(workers) as pool:
+            outcomes = pool.map(
+                _worker,
+                [(job, cache_path, registry is not None) for job in jobs],
+            )
+        sweeps = [sweep for sweep, _fresh, _report in outcomes]
+        for _sweep, _fresh, report in outcomes:
+            stats.cache_hits += int(report["hits"])
+            stats.cache_misses += int(report["misses"])
+            stats.job_times_s.append(float(report["job_time_s"]))
+            if registry is not None and report["metrics"] is not None:
+                registry.merge_snapshot(report["metrics"])
+        stats.workers = workers
+        if cache_path:
+            cache = PredictionCache(cache_path)
+            for _sweep, fresh, _report in outcomes:
+                cache.merge(fresh)
+            cache.save()
+            stats.cache_entries = len(cache)
+    stats.points = sum(len(sweep.points) for sweep in sweeps)
+    stats.wall_time_s = time.perf_counter() - start
+    if registry is not None:
+        registry.counter("sweep.runs").inc()
+        registry.counter("sweep.cache_hits").inc(stats.cache_hits)
+        registry.counter("sweep.cache_misses").inc(stats.cache_misses)
+        registry.gauge("sweep.workers").set(stats.workers)
+        registry.gauge("sweep.cache_entries").set(stats.cache_entries)
     return sweeps
