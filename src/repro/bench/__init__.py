@@ -11,6 +11,8 @@ from .harness import (
     BenchResult,
     bench_construction,
     bench_end_to_end,
+    bench_engine,
+    bench_scaleout,
     bench_simulate,
     compare_to_baseline,
     default_report_path,
@@ -37,6 +39,8 @@ __all__ = [
     "BenchResult",
     "bench_construction",
     "bench_end_to_end",
+    "bench_engine",
+    "bench_scaleout",
     "bench_simulate",
     "compare_to_baseline",
     "default_report_path",

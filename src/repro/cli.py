@@ -78,15 +78,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes = [parse_size(s) for s in args.sizes.split(",")]
     algorithms = [a.strip() for a in args.algorithms.split(",")]
     stats = None
-    if args.jobs > 1 or args.cache:
+    if args.jobs > 1 or args.cache or args.artifacts or args.engine != "event":
         spec = "%s-%s" % (args.topology, args.dims)
         jobs = [
-            SweepJob(topology=spec, algorithm=algorithm, sizes=tuple(sizes))
+            SweepJob(
+                topology=spec, algorithm=algorithm, sizes=tuple(sizes),
+                engine=args.engine,
+            )
             for algorithm in algorithms
         ]
         stats = SweepStats()
         sweeps = run_sweep(
-            jobs, processes=args.jobs, cache_path=args.cache, stats=stats
+            jobs, processes=args.jobs, cache_path=args.cache, stats=stats,
+            artifacts_path=args.artifacts,
         )
     else:
         sweeps = []
@@ -278,6 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache", default=None, metavar="PATH",
         help="persistent prediction cache file (created if missing)",
+    )
+    p.add_argument(
+        "--engine", choices=("event", "lockstep"), default="event",
+        help="simulation engine (lockstep: step-level fast path, "
+             "bit-identical results, falls back per run if ungated)",
+    )
+    p.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="compiled-schedule artifact store directory: load lowered "
+             "schedules instead of rebuilding them (created if missing)",
     )
     p.set_defaults(func=_cmd_sweep)
 

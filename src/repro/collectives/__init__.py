@@ -23,9 +23,12 @@ from .primitives import (
     verify_reduce,
     verify_reduce_scatter,
 )
+from .compiled import COMPILED_FORMAT, CompiledSchedule, compile_schedule
 from .ring import ring_allreduce
 from .serialization import (
+    load_compiled,
     load_schedule,
+    save_compiled,
     save_schedule,
     schedule_from_dict,
     schedule_to_dict,
@@ -72,8 +75,13 @@ def build_schedule(algorithm: str, topology: Topology, **kwargs) -> Schedule:
 __all__ = [
     "ALGORITHMS",
     "BinaryTree",
+    "COMPILED_FORMAT",
     "ChunkRange",
     "CommOp",
+    "CompiledSchedule",
+    "compile_schedule",
+    "load_compiled",
+    "save_compiled",
     "ExecutionResult",
     "OpKind",
     "Schedule",

@@ -1,0 +1,459 @@
+"""Compiled, payload-independent schedule artifacts.
+
+Building a schedule (tree construction, §III), deriving its message
+dependency DAG, and expanding per-op routes are all independent of the
+all-reduce payload size — yet a bandwidth sweep re-pays those costs at
+every data point, and every sweep worker process re-pays them from
+scratch.  A :class:`CompiledSchedule` captures the full lowered product
+once — op endpoints, steps, chunk fractions, routes, dependency lists,
+and the deduplicated serialization profile that drives the lockstep gate
+estimates (§IV-A) — so a simulation at a new data size only has to scale
+payloads and gates, not re-derive structure.
+
+The compiled form round-trips through columnar JSON (flat integer arrays
+with offset tables rather than per-op records), which keeps 1024-node
+artifacts with hundreds of thousands of ops cheap to persist and load;
+:mod:`repro.sweep.artifacts` stores them on disk with the same
+atomic-write + schema-version discipline as the prediction cache.
+
+Exactness: chunk fractions are stored as integer numerator/denominator
+pairs and converted with a single true division, which rounds identically
+to ``float(Fraction(n, d))`` — payloads, gate estimates, and therefore
+every simulated timing are bit-identical to simulating the original
+:class:`~repro.collectives.schedule.Schedule` (guarded by
+``tests/test_artifacts.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.base import LinkKey, Topology, topology_fingerprint
+
+#: Format tag embedded in every serialized compiled schedule.  Bump when
+#: the columnar layout or the meaning of any field changes; loaders
+#: reject unknown formats, so stale artifacts read as misses.
+COMPILED_FORMAT = "repro-compiled-v1"
+
+
+class CompiledSchedule:
+    """The payload-independent lowered product of one schedule.
+
+    Everything the injector derives from a :class:`Schedule` except the
+    payload sizes themselves: per-op endpoints/steps, chunk fractions,
+    expanded routes, the dependency DAG, and the serialization profile
+    behind the lockstep gates.  Instances are immutable after
+    construction; derived per-topology state (dense link ids, step
+    groups, the dependents graph) is memoized.
+
+    Bulk state lives in flat parallel arrays — routes and dependencies in
+    CSR ``(offsets, values)`` form over a deduplicated link-key table —
+    mirroring the on-disk columnar layout.  Besides loading fast, the
+    flat form keeps million-op artifacts nearly invisible to the cyclic
+    garbage collector: per-op lists/tuples would be rescanned by every
+    generational collection during simulation, a measured multi-x
+    slowdown at 1024-node scale.  The per-op views (:attr:`routes`,
+    :attr:`deps`) are materialized on demand and not retained.
+    """
+
+    __slots__ = (
+        "topology",
+        "algorithm",
+        "num_steps",
+        "srcs",
+        "dsts",
+        "steps",
+        "frac_num",
+        "frac_den",
+        "frac_floats",
+        "links",
+        "route_off",
+        "route_val",
+        "dep_off",
+        "dep_val",
+        "ser_profile",
+        "metadata",
+        "_route_csr",
+        "_groups",
+        "_dep_struct",
+        "_frac_arr",
+        "_steps_arr",
+    )
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: str,
+        num_steps: int,
+        srcs: List[int],
+        dsts: List[int],
+        steps: List[int],
+        frac_num: List[int],
+        frac_den: List[int],
+        links: List[LinkKey],
+        route_off: List[int],
+        route_val: List[int],
+        dep_off: List[int],
+        dep_val: List[int],
+        ser_profile: List[Tuple[int, float, float]],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.topology = topology
+        self.algorithm = algorithm
+        self.num_steps = num_steps
+        self.srcs = srcs
+        self.dsts = dsts
+        self.steps = steps
+        self.frac_num = frac_num
+        self.frac_den = frac_den
+        # n/d true division rounds identically to float(Fraction(n, d)),
+        # so these floats match ChunkRange.bytes_of's memoized factor.
+        self.frac_floats = [
+            num / den for num, den in zip(frac_num, frac_den)
+        ]
+        #: Deduplicated link-key table; ``route_val`` holds indices into it.
+        self.links = links
+        self.route_off = route_off
+        self.route_val = route_val
+        self.dep_off = dep_off
+        self.dep_val = dep_val
+        #: Deduplicated ``(step, bottleneck_bandwidth, chunk_fraction)``
+        #: triples in first-occurrence order — the exact inputs of
+        #: :func:`repro.ni.lockstep.step_estimates`.
+        self.ser_profile = ser_profile
+        self.metadata = dict(metadata) if metadata else {}
+        self._route_csr: Optional[List[int]] = None
+        self._groups: Optional[List[List[int]]] = None
+        self._dep_struct = None
+        self._frac_arr = None
+        self._steps_arr = None
+
+    def __len__(self) -> int:
+        return len(self.srcs)
+
+    @property
+    def routes(self) -> List[Tuple[LinkKey, ...]]:
+        """Per-op route tuples, materialized fresh from the CSR arrays."""
+        links = self.links
+        off = self.route_off
+        val = self.route_val
+        return [
+            tuple(links[val[k]] for k in range(off[i], off[i + 1]))
+            for i in range(len(off) - 1)
+        ]
+
+    @property
+    def deps(self) -> List[List[int]]:
+        """Per-op dependency lists, materialized fresh from the CSR arrays."""
+        off = self.dep_off
+        val = self.dep_val
+        return [val[off[i]:off[i + 1]] for i in range(len(off) - 1)]
+
+    # -- payload-dependent lowering ---------------------------------------
+
+    def step_estimates(self, data_bytes: float, flow_control) -> Dict[int, float]:
+        """Estimated duration of each step — matches the ni layer exactly."""
+        est: Dict[int, float] = {}
+        ser_time = flow_control.serialization_time
+        for step, bandwidth, fraction in self.ser_profile:
+            ser = ser_time(fraction * data_bytes, bandwidth)
+            if ser > est.get(step, 0.0):
+                est[step] = ser
+        return est
+
+    def step_gates(self, data_bytes: float, flow_control) -> Dict[int, float]:
+        """Earliest lockstep injection time per step (§IV-A)."""
+        est = self.step_estimates(data_bytes, flow_control)
+        gates: Dict[int, float] = {}
+        clock = 0.0
+        for step in range(1, self.num_steps + 1):
+            gates[step] = clock
+            clock += est.get(step, 0.0)
+        return gates
+
+    def build_messages(
+        self,
+        data_bytes: float,
+        flow_control,
+        lockstep: bool = True,
+        scheduling_overhead: float = 0.0,
+    ):
+        """Lower to simulator :class:`Message` objects (``tag`` is ``None``).
+
+        Compiled schedules drop the original :class:`CommOp` objects, so
+        trace events recorded against these messages carry no op
+        attribution — use the uncompiled path when attribution matters.
+        """
+        from ..network.simulator import Message
+
+        gates = self.step_gates(data_bytes, flow_control) if lockstep else {}
+        frac_floats = self.frac_floats
+        steps = self.steps
+        routes = self.routes
+        deps = self.deps
+        return [
+            Message(
+                src=self.srcs[i],
+                dst=self.dsts[i],
+                payload_bytes=frac_floats[i] * data_bytes,
+                route=routes[i],
+                deps=deps[i],
+                not_before=gates.get(steps[i], 0.0),
+                receive_overhead=scheduling_overhead,
+            )
+            for i in range(len(steps))
+        ]
+
+    # -- memoized per-topology structure -----------------------------------
+
+    def _table_route_val(self, table) -> List[int]:
+        """``route_val`` remapped from link-table indices to dense link ids."""
+        route_val = self._route_csr
+        if route_val is None:
+            id_of = table.id_of
+            remap = [id_of[key] for key in self.links]
+            route_val = self._route_csr = [
+                remap[v] for v in self.route_val
+            ]
+        return route_val
+
+    def _step_groups(self) -> List[List[int]]:
+        """Op indices grouped per step, ascending step order.
+
+        Steps with no routed ops have zero estimated duration and thus
+        share a gate value with the following step; such empty groups are
+        harmless — :func:`repro.network.lockstep_engine.run_grouped`
+        validates the processing order at every group boundary and its
+        ``(ready, push_seq)`` check degenerates to a no-op for them.
+        Dependencies always point to a strictly earlier step (the
+        injector derives them from earlier-step deliveries only), and any
+        two steps that both contain ops are separated by a strictly
+        positive gate increment, so the caller contract of
+        ``run_grouped`` holds by construction.
+        """
+        groups = self._groups
+        if groups is None:
+            groups = [[] for _ in range(self.num_steps)]
+            for idx, step in enumerate(self.steps):
+                groups[step - 1].append(idx)
+            self._groups = groups
+        return groups
+
+    def simulate(
+        self,
+        data_bytes: float,
+        flow_control=None,
+        lockstep: bool = True,
+        scheduling_overhead: float = 0.0,
+        recorder=None,
+        engine: str = "lockstep",
+    ):
+        """Simulate one all-reduce of ``data_bytes`` from the compiled form.
+
+        Bit-identical to
+        :func:`repro.ni.injector.simulate_allreduce` on the schedule this
+        was compiled from, for both engines.  ``engine="lockstep"`` (the
+        default here — the artifact path exists for speed) feeds the
+        step-level engine directly from the compiled arrays, skipping
+        :class:`Message` allocation entirely, and drops to the
+        heap-ordered array engine (:func:`run_indexed`, equally exact)
+        when step-level grouping would diverge; ``engine="event"``, a
+        ``recorder``, or ``lockstep=False`` route through the ordinary
+        simulator.
+        """
+        from ..network.flowcontrol import DEFAULT_FLOW_CONTROL
+        from ..network.simulator import NetworkSimulator
+        from ..ni.injector import AllReduceResult
+
+        if flow_control is None:
+            flow_control = DEFAULT_FLOW_CONTROL
+        if data_bytes <= 0:
+            raise ValueError("data_bytes must be positive")
+        if engine == "lockstep" and lockstep and recorder is None:
+            import numpy as np
+
+            from ..network.lockstep_engine import (
+                _result_from_arrays,
+                dep_structure,
+                link_table,
+                run_grouped,
+                run_indexed,
+            )
+
+            table = link_table(self.topology)
+            gates = self.step_gates(data_bytes, flow_control)
+            steps = self.steps
+            # Payload scaling and gate lookup vectorize: float64 multiply
+            # is IEEE-identical to the scalar product the injector
+            # computes, and the gate gather copies floats untouched.
+            frac_arr = self._frac_arr
+            if frac_arr is None:
+                frac_arr = self._frac_arr = np.asarray(
+                    self.frac_floats, dtype=np.float64
+                )
+                self._steps_arr = np.asarray(steps, dtype=np.intp)
+            payloads = (frac_arr * data_bytes).tolist()
+            gate_vec = np.zeros(self.num_steps + 1, dtype=np.float64)
+            for step, gate in gates.items():
+                gate_vec[step] = gate
+            gate_arr = gate_vec[self._steps_arr].tolist()
+            overhead = [scheduling_overhead] * len(steps)
+            route_val = self._table_route_val(table)
+            dep_struct = self._dep_struct
+            if dep_struct is None:
+                dep_struct = self._dep_struct = dep_structure(
+                    self.dep_off, self.dep_val
+                )
+            raw = run_grouped(
+                table,
+                flow_control,
+                self._step_groups(),
+                payloads,
+                self.route_off,
+                route_val,
+                dep_struct,
+                gate_arr,
+                overhead,
+            )
+            if raw is None:
+                # Step-level grouping would diverge from the event order
+                # (deliveries overrun a later gate); run the heap-ordered
+                # engine over the same arrays instead — exact by
+                # construction and still free of Message allocation.
+                raw = run_indexed(
+                    table, flow_control, payloads, self.route_off,
+                    route_val, dep_struct, gate_arr, overhead,
+                )
+            result = _result_from_arrays(table, raw)
+            return AllReduceResult(self, data_bytes, result)
+        messages = self.build_messages(
+            data_bytes, flow_control, lockstep, scheduling_overhead
+        )
+        sim = NetworkSimulator(self.topology, flow_control)
+        return AllReduceResult(
+            self, data_bytes, sim.run(messages, recorder, engine=engine)
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Columnar JSON-safe form: flat arrays + offset tables.
+
+        The in-memory layout already matches the columnar schema, so this
+        is a field-for-field copy-out.
+        """
+        return {
+            "format": COMPILED_FORMAT,
+            "topology": topology_fingerprint(self.topology),
+            "topology_name": self.topology.name,
+            "algorithm": self.algorithm,
+            "num_steps": self.num_steps,
+            "srcs": self.srcs,
+            "dsts": self.dsts,
+            "steps": self.steps,
+            "frac_num": self.frac_num,
+            "frac_den": self.frac_den,
+            "links": [[key[0], key[1]] for key in self.links],
+            "route_offsets": self.route_off,
+            "route_values": self.route_val,
+            "dep_offsets": self.dep_off,
+            "dep_values": self.dep_val,
+            "ser_steps": [entry[0] for entry in self.ser_profile],
+            "ser_bandwidth": [entry[1] for entry in self.ser_profile],
+            "ser_fraction": [entry[2] for entry in self.ser_profile],
+            "metadata": {
+                key: value
+                for key, value in self.metadata.items()
+                if isinstance(value, (str, int, float, bool, list))
+            },
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, object], topology: Topology
+    ) -> "CompiledSchedule":
+        """Rebuild on ``topology``; the stored fingerprint must match."""
+        if data.get("format") != COMPILED_FORMAT:
+            raise ValueError(
+                "unrecognized compiled-schedule format %r" % data.get("format")
+            )
+        fingerprint = topology_fingerprint(topology)
+        if data["topology"] != fingerprint:
+            raise ValueError(
+                "compiled schedule was built for topology %s, not %s (%s)"
+                % (data["topology"], fingerprint, topology.name)
+            )
+        ser_profile = list(
+            zip(data["ser_steps"], data["ser_bandwidth"], data["ser_fraction"])
+        )
+        return cls(
+            topology=topology,
+            algorithm=data["algorithm"],
+            num_steps=data["num_steps"],
+            srcs=list(data["srcs"]),
+            dsts=list(data["dsts"]),
+            steps=list(data["steps"]),
+            frac_num=list(data["frac_num"]),
+            frac_den=list(data["frac_den"]),
+            links=[(pair[0], pair[1]) for pair in data["links"]],
+            route_off=list(data["route_offsets"]),
+            route_val=list(data["route_values"]),
+            dep_off=list(data["dep_offsets"]),
+            dep_val=list(data["dep_values"]),
+            ser_profile=ser_profile,
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+def compile_schedule(schedule) -> CompiledSchedule:
+    """Lower a :class:`Schedule` to its payload-independent compiled form.
+
+    Runs the same derivations the injector would (dependency lists, route
+    expansion, serialization profile) and freezes the results into flat
+    arrays.  The imports are local because the ni layer imports the
+    collectives package.
+    """
+    from ..ni.injector import dependency_lists
+    from ..ni.lockstep import _ser_profile
+
+    deps = dependency_lists(schedule)
+    routes = schedule.op_routes()
+    ops = schedule.ops
+    links: List[LinkKey] = []
+    link_id: Dict[LinkKey, int] = {}
+    route_off = [0]
+    route_val: List[int] = []
+    for route in routes:
+        for key in route:
+            lid = link_id.get(key)
+            if lid is None:
+                lid = link_id[key] = len(links)
+                links.append(key)
+            route_val.append(lid)
+        route_off.append(len(route_val))
+    dep_off = [0]
+    dep_val: List[int] = []
+    for dep_list in deps:
+        dep_val.extend(dep_list)
+        dep_off.append(len(dep_val))
+    fracs = [op.chunk.fraction for op in ops]
+    return CompiledSchedule(
+        topology=schedule.topology,
+        algorithm=schedule.algorithm,
+        num_steps=schedule.num_steps,
+        srcs=[op.src for op in ops],
+        dsts=[op.dst for op in ops],
+        steps=[op.step for op in ops],
+        frac_num=[frac.numerator for frac in fracs],
+        frac_den=[frac.denominator for frac in fracs],
+        links=links,
+        route_off=route_off,
+        route_val=route_val,
+        dep_off=dep_off,
+        dep_val=dep_val,
+        ser_profile=[
+            (step, bandwidth, float(fraction))
+            for step, bandwidth, fraction in _ser_profile(schedule)
+        ],
+        metadata=schedule.metadata,
+    )

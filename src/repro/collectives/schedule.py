@@ -81,9 +81,16 @@ class ChunkRange:
         return ChunkRange(Fraction(index, count), Fraction(index + 1, count))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommOp:
-    """One scheduled point-to-point transfer."""
+    """One scheduled point-to-point transfer.
+
+    Declared with ``slots=True``: large schedules hold millions of ops, so
+    the per-instance ``__dict__`` is measurable overhead (guarded by a
+    bit-identical-results test in ``tests/test_slots.py``).  ChunkRange
+    deliberately keeps its ``__dict__`` — it memoizes ``_float_fraction``
+    there (see :meth:`ChunkRange.bytes_of`).
+    """
 
     kind: OpKind
     src: int

@@ -18,6 +18,7 @@ from .flowcontrol import (
     MessageBased,
     PacketBased,
 )
+from .lockstep_engine import LinkTable, link_table, run_lockstep
 from .simulator import Message, MessageTiming, NetworkSimulator, SimulationResult
 
 __all__ = [
@@ -28,11 +29,14 @@ __all__ = [
     "FlitLevelSimulator",
     "FlitTransfer",
     "FlitType",
+    "LinkTable",
     "RouteInfo",
     "SubPacketInfo",
     "TransferTiming",
     "frame_message",
     "frame_packets",
+    "link_table",
+    "run_lockstep",
     "MESSAGE_FLOW_CONTROL",
     "FlowControl",
     "Message",

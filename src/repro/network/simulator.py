@@ -32,13 +32,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..trace.events import TraceRecorder
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One transfer to simulate.
 
     ``deps`` are indices (into the message list) that must be *delivered*
     before this message may inject; ``not_before`` is an absolute earliest
     injection time (lockstep gate).
+
+    Declared with ``slots=True``: simulations allocate one instance per
+    scheduled op, so the per-instance ``__dict__`` is measurable overhead
+    (guarded by a bit-identical-results test in ``tests/test_slots.py``).
     """
 
     src: int
@@ -54,7 +58,7 @@ class Message:
     tag: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageTiming:
     ready: float = 0.0
     inject: float = 0.0
@@ -116,13 +120,50 @@ class NetworkSimulator:
         self,
         messages: List[Message],
         recorder: Optional["TraceRecorder"] = None,
+        engine: str = "event",
     ) -> SimulationResult:
         """Simulate ``messages``; optionally report events to ``recorder``.
 
         The recorder observes hop grants and message completions as they
         are computed (see :mod:`repro.trace`); it never alters the
         simulation — results are bit-identical with and without one.
+
+        ``engine`` selects the resolution strategy:
+
+        * ``"event"`` (default) — the global ready-time heap below; works
+          for any dependency DAG and is the semantic reference.
+        * ``"lockstep"`` — the step-level engine of
+          :mod:`repro.network.lockstep_engine`, which exploits lockstep
+          gating to resolve whole steps at a time.  Results are
+          bit-identical to the event engine; when the message set is not
+          lockstep-gated (or deliveries overrun a later gate enough to
+          reorder processing across steps) it automatically falls back to
+          the event engine and counts ``sim.lockstep_fallbacks``.
         """
+        if engine == "lockstep":
+            from .lockstep_engine import run_lockstep
+
+            result = run_lockstep(
+                self.topology, self.flow_control, messages, recorder
+            )
+            registry = get_registry()
+            if result is not None:
+                if registry is not None:
+                    registry.counter(
+                        "sim.engine_runs",
+                        engine="lockstep",
+                        topology=self.topology.name,
+                    ).inc()
+                    self._record_metrics(registry, messages, result)
+                return result
+            if registry is not None:
+                registry.counter(
+                    "sim.lockstep_fallbacks", topology=self.topology.name
+                ).inc()
+        elif engine != "event":
+            raise ValueError(
+                "unknown engine %r (choose: event, lockstep)" % (engine,)
+            )
         topo = self.topology
         fc = self.flow_control
 
@@ -137,7 +178,13 @@ class NetworkSimulator:
         heappush = heapq.heappush
         heappop = heapq.heappop
 
-        timings = [MessageTiming() for _ in messages]
+        # Per-message hot state as parallel arrays (ready/inject/deliver/
+        # ideal); MessageTiming objects are materialized once, after the
+        # loop, so the hot loop never touches per-message dataclasses.
+        n = len(messages)
+        inject_arr = [0.0] * n
+        deliver_arr = [0.0] * n
+        ideal_arr = [0.0] * n
         link_busy: Dict[LinkKey, float] = {}
         busy_get = link_busy.get
         channels_get = channels.get
@@ -163,8 +210,6 @@ class NetworkSimulator:
         while heap:
             ready, _seq, idx = heappop(heap)
             msg = messages[idx]
-            timing = timings[idx]
-            timing.ready = ready
 
             payload = msg.payload_bytes
             wire = wire_cache.get(payload)
@@ -218,11 +263,14 @@ class NetworkSimulator:
                 # bit-for-bit.
                 deliver = head + ser
                 ideal = ready + lat_sum + max_ser
-            timing.inject = inject
-            timing.deliver = deliver
-            timing.ideal_deliver = ideal
+            ready_time[idx] = ready
+            inject_arr[idx] = inject
+            deliver_arr[idx] = deliver
+            ideal_arr[idx] = ideal
             if recorder is not None:
-                recorder.message_done(idx, msg, timing, wire)
+                recorder.message_done(
+                    idx, msg, MessageTiming(ready, inject, deliver, ideal), wire
+                )
             if deliver > finish:
                 finish = deliver
             processed += 1
@@ -243,12 +291,20 @@ class NetworkSimulator:
             )
         result = SimulationResult(
             finish_time=finish,
-            timings=timings,
+            timings=[
+                MessageTiming(
+                    ready_time[i], inject_arr[i], deliver_arr[i], ideal_arr[i]
+                )
+                for i in range(n)
+            ],
             link_busy=link_busy,
             total_wire_bytes=total_wire,
         )
         registry = get_registry()
         if registry is not None:
+            registry.counter(
+                "sim.engine_runs", engine="event", topology=topo.name
+            ).inc()
             self._record_metrics(registry, messages, result)
         return result
 

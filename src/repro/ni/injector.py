@@ -140,6 +140,7 @@ def simulate_allreduce(
     lockstep: bool = True,
     scheduling_overhead: float = 0.0,
     recorder: Optional["TraceRecorder"] = None,
+    engine: str = "event",
 ) -> AllReduceResult:
     """Simulate one all-reduce of ``data_bytes`` under the given schedule.
 
@@ -147,6 +148,11 @@ def simulate_allreduce(
     event timeline (hop grants, message lifetimes, lockstep gates) for
     export and critical-path analysis; ``None`` (the default) simulates
     with zero observation overhead.
+
+    ``engine="lockstep"`` opts into the step-level engine (bit-identical
+    results, automatic fallback to the event engine when the lowered
+    messages are not lockstep-gated — e.g. with ``lockstep=False``); see
+    :meth:`repro.network.simulator.NetworkSimulator.run`.
     """
     if data_bytes <= 0:
         raise ValueError("data_bytes must be positive")
@@ -156,8 +162,11 @@ def simulate_allreduce(
         recorder.meta("data_bytes", float(data_bytes))
         recorder.meta("flow_control", flow_control.name)
         recorder.meta("lockstep", lockstep)
+        recorder.meta("engine", engine)
     messages = build_messages(
         schedule, data_bytes, flow_control, lockstep, scheduling_overhead, recorder
     )
     sim = NetworkSimulator(schedule.topology, flow_control)
-    return AllReduceResult(schedule, data_bytes, sim.run(messages, recorder))
+    return AllReduceResult(
+        schedule, data_bytes, sim.run(messages, recorder, engine=engine)
+    )

@@ -5,6 +5,7 @@
 memoize figure-scale prediction grids.
 """
 
+from .artifacts import ARTIFACT_SCHEMA_VERSION, ArtifactStore, artifact_key
 from .cache import (
     CACHE_SCHEMA_VERSION,
     PredictionCache,
@@ -23,6 +24,9 @@ from .runner import (
 )
 
 __all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactStore",
+    "artifact_key",
     "CACHE_SCHEMA_VERSION",
     "FLOW_CONTROLS",
     "PredictionCache",

@@ -1,0 +1,132 @@
+"""On-disk store of compiled schedule artifacts.
+
+A compiled schedule (:mod:`repro.collectives.compiled`) is payload
+independent: one artifact per (topology, algorithm) serves every data
+point of a bandwidth sweep and every worker process.  This store
+persists them under a root directory with the same discipline as the
+prediction cache (:mod:`repro.sweep.cache`): content-addressed keys that
+embed a topology fingerprint, atomic writes (temp file + ``os.replace``),
+and a schema version whose bump turns every existing artifact into a
+miss.
+
+Unlike the prediction cache the artifacts are large (hundreds of
+thousands of ops at 1024 nodes), so each lives in its own file —
+``sha256(key)[:24].json`` — rather than one merged JSON document, and a
+store never rewrites an artifact that is already present.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from ..collectives.compiled import CompiledSchedule, compile_schedule
+from ..metrics.registry import get_registry
+from ..topology.base import Topology, topology_fingerprint
+
+#: Bump whenever the compiled layout or the lowering it captures changes
+#: meaning; every existing artifact then misses and is rebuilt.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def artifact_key(topology: Topology, algorithm: str) -> str:
+    """Identity of one compiled artifact (payload independent)."""
+    return "v%d|%s|%s" % (
+        ARTIFACT_SCHEMA_VERSION,
+        topology_fingerprint(topology),
+        algorithm,
+    )
+
+
+class ArtifactStore:
+    """Directory of compiled schedules with hit/miss accounting."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return os.path.join(self.root, digest + ".json")
+
+    def get(
+        self, topology: Topology, algorithm: str
+    ) -> Optional[CompiledSchedule]:
+        """The stored artifact for ``(topology, algorithm)``, or ``None``.
+
+        Unreadable, schema-mismatched, or wrong-topology files count as
+        misses — the store is a cache, never a source of truth.
+        """
+        key = artifact_key(topology, algorithm)
+        try:
+            with open(self._path(key)) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = None
+        compiled = None
+        if isinstance(payload, dict) and payload.get("key") == key:
+            try:
+                compiled = CompiledSchedule.from_dict(
+                    payload.get("compiled", {}), topology
+                )
+            except (ValueError, KeyError, TypeError, IndexError):
+                compiled = None
+        registry = get_registry()
+        if compiled is None:
+            self.misses += 1
+            if registry is not None:
+                registry.counter(
+                    "artifact.misses", topology=topology.name,
+                    algorithm=algorithm,
+                ).inc()
+            return None
+        self.hits += 1
+        if registry is not None:
+            registry.counter(
+                "artifact.hits", topology=topology.name, algorithm=algorithm
+            ).inc()
+        return compiled
+
+    def put(self, compiled: CompiledSchedule) -> str:
+        """Atomically persist ``compiled``; returns the file path."""
+        key = artifact_key(compiled.topology, compiled.algorithm)
+        path = self._path(key)
+        os.makedirs(self.root, exist_ok=True)
+        payload = {
+            "schema": ARTIFACT_SCHEMA_VERSION,
+            "key": key,
+            "compiled": compiled.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_compile(
+        self, topology: Topology, algorithm: str, builder=None
+    ) -> CompiledSchedule:
+        """Load the artifact, or build + compile + persist it on a miss.
+
+        ``builder`` maps ``(algorithm, topology) -> Schedule`` and
+        defaults to :func:`repro.collectives.build_schedule`.
+        """
+        compiled = self.get(topology, algorithm)
+        if compiled is not None:
+            return compiled
+        if builder is None:
+            from ..collectives import build_schedule as builder
+        compiled = compile_schedule(builder(algorithm, topology))
+        self.put(compiled)
+        return compiled

@@ -12,8 +12,8 @@ The cache key embeds:
   every link's ``(src, dst, bandwidth, latency, capacity)`` — so two
   topologies that merely share a name cannot collide;
 * the algorithm name, the flow-control ``repr`` (which carries framing
-  parameters like packet payload size), the data size, and the lockstep
-  flag;
+  parameters like packet payload size), the data size, the lockstep
+  flag, and the simulation engine that produced the number;
 * :data:`CACHE_SCHEMA_VERSION` — the invalidation key.  Bump it whenever a
   change alters predicted timings (simulator semantics, flow-control wire
   math, lockstep gating); every previously cached entry then misses and
@@ -26,34 +26,32 @@ with on-disk state so concurrent writers lose nothing but duplicated work.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
 from typing import Dict, Optional
 
 from ..network.flowcontrol import FlowControl
-from ..topology.base import Topology
+
+# Re-exported for backwards compatibility: the fingerprint now lives with
+# the topology layer so the artifact store can share it without importing
+# the sweep package.
+from ..topology.base import Topology, topology_fingerprint
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "PredictionCache",
+    "prediction_key",
+    "topology_fingerprint",
+]
 
 #: Bump to invalidate every existing cache entry (see module docstring).
-CACHE_SCHEMA_VERSION = 1
-
-
-def topology_fingerprint(topology: Topology) -> str:
-    """Digest of the topology's full link structure."""
-    hasher = hashlib.sha256()
-    hasher.update(
-        ("%s|%d|%d" % (topology.name, topology.num_nodes, topology.num_switches)
-         ).encode()
-    )
-    for key in sorted(topology.links):
-        spec = topology.link(*key)
-        hasher.update(
-            ("|%d,%d,%r,%r,%d" % (
-                spec.src, spec.dst, spec.bandwidth, spec.latency, spec.capacity
-            )).encode()
-        )
-    return hasher.hexdigest()[:16]
+#: v2: the simulation engine joined the key — entries computed by the
+#: event engine are never served to a lockstep-engine query (and vice
+#: versa), even though the two are bit-identical by construction; the key
+#: records how the number was produced so an engine bug cannot hide
+#: behind the other engine's cached results.
+CACHE_SCHEMA_VERSION = 2
 
 
 def prediction_key(
@@ -62,14 +60,16 @@ def prediction_key(
     flow_control: FlowControl,
     data_bytes: int,
     lockstep: bool = True,
+    engine: str = "event",
 ) -> str:
-    return "v%d|%s|%s|%s|%d|%s" % (
+    return "v%d|%s|%s|%s|%d|%s|%s" % (
         CACHE_SCHEMA_VERSION,
         topology_fingerprint(topology),
         algorithm,
         repr(flow_control),
         int(data_bytes),
         "lockstep" if lockstep else "free",
+        engine,
     )
 
 

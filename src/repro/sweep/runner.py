@@ -26,6 +26,7 @@ from ..metrics.registry import MetricsRegistry, collecting, get_registry
 from ..network.flowcontrol import FlowControl, MessageBased, PacketBased
 from ..ni.injector import simulate_allreduce
 from ..topology.specs import parse_topology_spec
+from .artifacts import ArtifactStore
 from .cache import PredictionCache, prediction_key
 
 FLOW_CONTROLS = {"packet": PacketBased, "message": MessageBased}
@@ -44,6 +45,8 @@ class SweepStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_entries: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
     workers: int = 1
     wall_time_s: float = 0.0
     #: Per-job worker wall time, in job order.
@@ -62,6 +65,12 @@ class SweepStats:
                 % (self.cache_hits, self.cache_misses,
                    100.0 * self.cache_hits / probes, self.cache_entries)
             )
+        loads = self.artifact_hits + self.artifact_misses
+        if loads:
+            parts.append(
+                "artifacts: %d hits, %d misses"
+                % (self.artifact_hits, self.artifact_misses)
+            )
         return "; ".join(parts)
 
 
@@ -74,6 +83,7 @@ class SweepJob:
     sizes: Tuple[int, ...]
     flow_control: str = "packet"  # "packet" | "message"
     lockstep: bool = True
+    engine: str = "event"         # "event" | "lockstep"
     label: Optional[str] = None
 
     def resolve(self) -> Tuple[str, FlowControl, str]:
@@ -100,18 +110,31 @@ def predict_cached(
     flow_control: FlowControl,
     lockstep: bool = True,
     cache: Optional[PredictionCache] = None,
+    engine: str = "event",
 ) -> Dict[str, float]:
-    """One prediction point, served from ``cache`` when warm."""
+    """One prediction point, served from ``cache`` when warm.
+
+    ``schedule`` may be a :class:`Schedule` or a
+    :class:`repro.collectives.CompiledSchedule` — the cache key and the
+    sweep machinery only need ``.topology``/``.algorithm``, and compiled
+    schedules simulate themselves.
+    """
     key = None
     if cache is not None:
         key = prediction_key(
             schedule.topology, schedule.algorithm, flow_control,
-            data_bytes, lockstep,
+            data_bytes, lockstep, engine,
         )
         entry = cache.get(key)
         if entry is not None:
             return entry
-    result = simulate_allreduce(schedule, data_bytes, flow_control, lockstep)
+    simulate = getattr(schedule, "simulate", None)
+    if simulate is not None:  # CompiledSchedule
+        result = simulate(data_bytes, flow_control, lockstep, engine=engine)
+    else:
+        result = simulate_allreduce(
+            schedule, data_bytes, flow_control, lockstep, engine=engine
+        )
     entry = {
         "time": result.time,
         "bandwidth": result.bandwidth,
@@ -129,6 +152,7 @@ def sweep_bandwidth_cached(
     lockstep: bool = True,
     cache: Optional[PredictionCache] = None,
     label: Optional[str] = None,
+    engine: str = "event",
 ) -> BandwidthSweep:
     """Cache-aware drop-in for :func:`repro.analysis.sweep_bandwidth`."""
     sweep = BandwidthSweep(
@@ -136,7 +160,9 @@ def sweep_bandwidth_cached(
         algorithm=label or schedule.algorithm,
     )
     for size in sizes:
-        entry = predict_cached(schedule, size, flow_control, lockstep, cache)
+        entry = predict_cached(
+            schedule, size, flow_control, lockstep, cache, engine
+        )
         sweep.points.append(
             SweepPoint(
                 algorithm=sweep.algorithm,
@@ -171,9 +197,16 @@ def record_sweep_metrics(registry: MetricsRegistry, sweep: BandwidthSweep) -> No
 
 
 def run_job(
-    job: SweepJob, cache: Optional[PredictionCache] = None
+    job: SweepJob,
+    cache: Optional[PredictionCache] = None,
+    artifacts: Optional[ArtifactStore] = None,
 ) -> BandwidthSweep:
-    """Build the job's schedule (skipped if fully warm) and sweep it."""
+    """Build the job's schedule (skipped if fully warm) and sweep it.
+
+    With an ``artifacts`` store, schedule construction + lowering is
+    replaced by one compiled-artifact load per (topology, algorithm) —
+    a cold store compiles and persists the artifact for the next run.
+    """
     start = time.perf_counter()
     algorithm, fc, label = job.resolve()
     topology = parse_topology_spec(job.topology)
@@ -182,7 +215,9 @@ def run_job(
         # Schedule construction is itself expensive at scale; skip it
         # entirely when every requested point is already cached.
         keys = [
-            prediction_key(topology, algorithm, fc, size, job.lockstep)
+            prediction_key(
+                topology, algorithm, fc, size, job.lockstep, job.engine
+            )
             for size in job.sizes
         ]
         if all(key in cache for key in keys):
@@ -199,9 +234,12 @@ def run_job(
                     )
                 )
     if sweep is None:
-        schedule = build_schedule(algorithm, topology)
+        if artifacts is not None:
+            schedule = artifacts.get_or_compile(topology, algorithm)
+        else:
+            schedule = build_schedule(algorithm, topology)
         sweep = sweep_bandwidth_cached(
-            schedule, job.sizes, fc, job.lockstep, cache, label
+            schedule, job.sizes, fc, job.lockstep, cache, label, job.engine
         )
     registry = get_registry()
     if registry is not None:
@@ -216,30 +254,34 @@ def run_job(
 
 
 def _worker(
-    args: Tuple[SweepJob, Optional[str], bool]
+    args: Tuple[SweepJob, Optional[str], Optional[str], bool]
 ) -> Tuple[BandwidthSweep, Dict[str, Dict[str, float]], Dict[str, object]]:
     """Pool entry point: run one job in its own process.
 
     Returns ``(sweep, newly cached entries, report)`` where ``report``
-    carries the worker's cache hit/miss counts, wall time, and — when the
-    parent had metrics enabled — the worker's full registry snapshot for
-    the parent to merge (counters sum, histograms merge bucket-wise, so
-    the folded view equals single-process collection).
+    carries the worker's cache hit/miss counts, artifact-store counts,
+    wall time, and — when the parent had metrics enabled — the worker's
+    full registry snapshot for the parent to merge (counters sum,
+    histograms merge bucket-wise, so the folded view equals
+    single-process collection).
     """
-    job, cache_path, collect_metrics = args
+    job, cache_path, artifacts_path, collect_metrics = args
     cache = PredictionCache(cache_path) if cache_path else None
+    artifacts = ArtifactStore(artifacts_path) if artifacts_path else None
     before = set(cache.entries) if cache is not None else set()
     start = time.perf_counter()
     if collect_metrics:
         with collecting() as registry:
-            sweep = run_job(job, cache)
+            sweep = run_job(job, cache, artifacts)
         snapshot = registry.snapshot()
     else:
-        sweep = run_job(job, cache)
+        sweep = run_job(job, cache, artifacts)
         snapshot = None
     report: Dict[str, object] = {
         "hits": cache.hits if cache is not None else 0,
         "misses": cache.misses if cache is not None else 0,
+        "artifact_hits": artifacts.hits if artifacts is not None else 0,
+        "artifact_misses": artifacts.misses if artifacts is not None else 0,
         "job_time_s": time.perf_counter() - start,
         "metrics": snapshot,
     }
@@ -256,18 +298,22 @@ def run_sweep(
     processes: Optional[int] = None,
     cache_path: Optional[str] = None,
     stats: Optional[SweepStats] = None,
+    artifacts_path: Optional[str] = None,
 ) -> List[BandwidthSweep]:
     """Run jobs, optionally in parallel, returning sweeps in job order.
 
     ``processes``: ``None``/``0``/``1`` runs serially in-process; larger
     values use a ``multiprocessing.Pool``.  With ``cache_path``, the cache
     is consulted before simulating and persisted (atomically, merged with
-    concurrent writers) after all jobs finish.  Pass a :class:`SweepStats`
-    as ``stats`` to receive cache hit/miss counts, worker count and
-    per-job wall times.  When metric collection is active in the parent
-    (see :mod:`repro.metrics`), parallel workers each collect into a local
-    registry and the parent folds every worker snapshot into its own, so
-    aggregate telemetry is identical to a serial run.
+    concurrent writers) after all jobs finish.  With ``artifacts_path``,
+    workers load compiled schedule artifacts from that directory instead
+    of rebuilding schedules (cold artifacts are compiled and persisted in
+    place).  Pass a :class:`SweepStats` as ``stats`` to receive cache and
+    artifact hit/miss counts, worker count and per-job wall times.  When
+    metric collection is active in the parent (see :mod:`repro.metrics`),
+    parallel workers each collect into a local registry and the parent
+    folds every worker snapshot into its own, so aggregate telemetry is
+    identical to a serial run.
     """
     if stats is None:
         stats = SweepStats()
@@ -278,28 +324,37 @@ def run_sweep(
     start = time.perf_counter()
     if processes is None or processes <= 1 or len(jobs) == 1:
         cache = PredictionCache(cache_path) if cache_path else None
+        artifacts = ArtifactStore(artifacts_path) if artifacts_path else None
         sweeps = []
         for job in jobs:
             t0 = time.perf_counter()
-            sweeps.append(run_job(job, cache))
+            sweeps.append(run_job(job, cache, artifacts))
             stats.job_times_s.append(time.perf_counter() - t0)
         if cache is not None:
             stats.cache_hits = cache.hits
             stats.cache_misses = cache.misses
             cache.save()
             stats.cache_entries = len(cache)
+        if artifacts is not None:
+            stats.artifact_hits = artifacts.hits
+            stats.artifact_misses = artifacts.misses
         stats.workers = 1
     else:
         workers = min(processes, len(jobs))
         with multiprocessing.Pool(workers) as pool:
             outcomes = pool.map(
                 _worker,
-                [(job, cache_path, registry is not None) for job in jobs],
+                [
+                    (job, cache_path, artifacts_path, registry is not None)
+                    for job in jobs
+                ],
             )
         sweeps = [sweep for sweep, _fresh, _report in outcomes]
         for _sweep, _fresh, report in outcomes:
             stats.cache_hits += int(report["hits"])
             stats.cache_misses += int(report["misses"])
+            stats.artifact_hits += int(report.get("artifact_hits", 0))
+            stats.artifact_misses += int(report.get("artifact_misses", 0))
             stats.job_times_s.append(float(report["job_time_s"]))
             if registry is not None and report["metrics"] is not None:
                 registry.merge_snapshot(report["metrics"])

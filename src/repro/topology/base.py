@@ -18,6 +18,7 @@ Two views of a topology are needed by the rest of the system:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -46,6 +47,30 @@ class LinkSpec:
     @property
     def key(self) -> LinkKey:
         return (self.src, self.dst)
+
+
+def topology_fingerprint(topology: "Topology") -> str:
+    """Digest of a topology's full link structure.
+
+    Two topologies that merely share a name cannot collide: the digest
+    covers the node/switch counts and every link's
+    ``(src, dst, bandwidth, latency, capacity)``.  Both the prediction
+    cache (:mod:`repro.sweep.cache`) and the compiled-schedule artifact
+    store (:mod:`repro.sweep.artifacts`) key on it.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        ("%s|%d|%d" % (topology.name, topology.num_nodes, topology.num_switches)
+         ).encode()
+    )
+    for key in sorted(topology.links):
+        spec = topology.link(*key)
+        hasher.update(
+            ("|%d,%d,%r,%r,%d" % (
+                spec.src, spec.dst, spec.bandwidth, spec.latency, spec.capacity
+            )).encode()
+        )
+    return hasher.hexdigest()[:16]
 
 
 class Topology:

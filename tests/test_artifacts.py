@@ -1,0 +1,176 @@
+"""Compiled schedule artifacts: exactness, round-trip, store discipline."""
+
+import json
+import os
+
+import pytest
+
+from repro.collectives import (
+    COMPILED_FORMAT,
+    CompiledSchedule,
+    build_schedule,
+    compile_schedule,
+    load_compiled,
+    save_compiled,
+)
+from repro.network.flowcontrol import MessageBased, PacketBased
+from repro.ni.injector import build_messages, simulate_allreduce
+from repro.ni.lockstep import step_estimates, step_gates
+from repro.sweep.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactStore,
+    artifact_key,
+)
+from repro.topology import FatTree, Torus2D
+
+KiB = 1024
+MiB = 1 << 20
+
+
+def assert_identical(a, b):
+    assert a.finish_time == b.finish_time
+    assert a.timings == b.timings
+    assert a.link_busy == b.link_busy
+    assert a.total_wire_bytes == b.total_wire_bytes
+
+
+class TestCompiledSchedule:
+    def test_simulate_matches_injector_exactly(self):
+        topo = Torus2D(4, 4)
+        for algorithm in ("multitree", "ring", "dbtree"):
+            schedule = build_schedule(algorithm, topo)
+            compiled = compile_schedule(schedule)
+            for size in (4 * KiB, 1 * MiB, 64 * MiB):
+                ref = simulate_allreduce(schedule, size)
+                for engine in ("lockstep", "event"):
+                    got = compiled.simulate(size, engine=engine)
+                    assert_identical(ref.simulation, got.simulation)
+                    assert got.time == ref.time
+                    assert got.bandwidth == ref.bandwidth
+
+    def test_gates_match_ni_layer_exactly(self):
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("multitree", topo)
+        compiled = compile_schedule(schedule)
+        for fc in (PacketBased(), MessageBased()):
+            for size in (4 * KiB, 3 * MiB):
+                assert compiled.step_estimates(size, fc) == step_estimates(
+                    schedule, size, fc
+                )
+                assert compiled.step_gates(size, fc) == step_gates(
+                    schedule, size, fc
+                )
+
+    def test_build_messages_matches_injector(self):
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("ring", topo)
+        compiled = compile_schedule(schedule)
+        fc = PacketBased()
+        ref = build_messages(schedule, 2 * MiB, fc)
+        got = compiled.build_messages(2 * MiB, fc)
+        assert len(ref) == len(got)
+        for r, g in zip(ref, got):
+            assert (r.src, r.dst, r.payload_bytes) == (
+                g.src, g.dst, g.payload_bytes
+            )
+            assert list(r.route) == list(g.route)
+            assert list(r.deps) == list(g.deps)
+            assert r.not_before == g.not_before
+
+    def test_json_round_trip_is_exact(self):
+        topo = FatTree(4, 4)
+        schedule = build_schedule("multitree", topo)
+        compiled = compile_schedule(schedule)
+        data = json.loads(json.dumps(compiled.to_dict()))
+        loaded = CompiledSchedule.from_dict(data, topo)
+        assert loaded.srcs == compiled.srcs
+        assert loaded.dsts == compiled.dsts
+        assert loaded.steps == compiled.steps
+        assert loaded.frac_floats == compiled.frac_floats
+        assert list(loaded.routes) == list(compiled.routes)
+        assert [list(d) for d in loaded.deps] == [
+            list(d) for d in compiled.deps
+        ]
+        assert loaded.ser_profile == compiled.ser_profile
+        ref = simulate_allreduce(schedule, 5 * MiB)
+        assert_identical(
+            ref.simulation, loaded.simulate(5 * MiB).simulation
+        )
+
+    def test_wrong_topology_rejected(self):
+        compiled = compile_schedule(build_schedule("ring", Torus2D(4, 4)))
+        data = compiled.to_dict()
+        with pytest.raises(ValueError, match="built for topology"):
+            CompiledSchedule.from_dict(data, Torus2D(4, 8))
+
+    def test_unknown_format_rejected(self):
+        compiled = compile_schedule(build_schedule("ring", Torus2D(4, 4)))
+        data = compiled.to_dict()
+        data["format"] = "repro-compiled-v999"
+        with pytest.raises(ValueError, match="unrecognized"):
+            CompiledSchedule.from_dict(data, Torus2D(4, 4))
+        assert data["format"] != COMPILED_FORMAT
+
+    def test_save_load_file(self, tmp_path):
+        topo = Torus2D(4, 4)
+        compiled = compile_schedule(build_schedule("dbtree", topo))
+        path = str(tmp_path / "compiled.json")
+        save_compiled(compiled, path)
+        loaded = load_compiled(path, topo)
+        ref = compiled.simulate(1 * MiB)
+        assert_identical(
+            ref.simulation, loaded.simulate(1 * MiB).simulation
+        )
+
+
+class TestArtifactStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        topo = Torus2D(4, 4)
+        assert store.get(topo, "ring") is None
+        assert (store.hits, store.misses) == (0, 1)
+        compiled = store.get_or_compile(topo, "ring")
+        assert compiled is not None
+        assert store.misses == 2  # get_or_compile probes again
+        again = store.get(topo, "ring")
+        assert again is not None
+        assert store.hits == 1
+        assert_identical(
+            compiled.simulate(1 * MiB).simulation,
+            again.simulate(1 * MiB).simulation,
+        )
+
+    def test_distinct_topologies_do_not_collide(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.get_or_compile(Torus2D(4, 4), "ring")
+        assert store.get(Torus2D(4, 8), "ring") is None
+        assert store.get(Torus2D(4, 4), "multitree") is None
+
+    def test_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        store = ArtifactStore(str(tmp_path))
+        topo = Torus2D(4, 4)
+        store.get_or_compile(topo, "ring")
+        assert store.get(topo, "ring") is not None
+        monkeypatch.setattr(
+            "repro.sweep.artifacts.ARTIFACT_SCHEMA_VERSION",
+            ARTIFACT_SCHEMA_VERSION + 1,
+        )
+        assert store.get(topo, "ring") is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        topo = Torus2D(4, 4)
+        store.get_or_compile(topo, "ring")
+        path = store._path(artifact_key(topo, "ring"))
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert store.get(topo, "ring") is None
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.get_or_compile(Torus2D(4, 4), "ring")
+        leftovers = [
+            name for name in os.listdir(str(tmp_path))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []

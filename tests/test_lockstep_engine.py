@@ -1,0 +1,199 @@
+"""Exact-equivalence battery and fallback behavior of the lockstep engine.
+
+The lockstep step-level engine (:mod:`repro.network.lockstep_engine`)
+must produce *bit-identical* results to the event engine — equal
+``finish_time``, per-message timings, ``link_busy`` and
+``total_wire_bytes``, not merely approximately equal — on every topology
+family and algorithm, at every data size.  When it cannot guarantee that
+(non-lockstep-gated messages, processing-order overruns), it must fall
+back to the event engine rather than return divergent numbers.
+"""
+
+import pytest
+
+from repro.collectives import build_schedule, compile_schedule
+from repro.metrics import collecting
+from repro.network import Message, NetworkSimulator, PacketBased
+from repro.network.lockstep_engine import (
+    LinkTable,
+    link_table,
+    run_lockstep,
+)
+from repro.ni.injector import build_messages, simulate_allreduce
+from repro.topology import BiGraph, FatTree, Mesh2D, Torus2D
+
+KiB = 1024
+MiB = 1 << 20
+
+TOPOLOGIES = [
+    pytest.param(lambda: Torus2D(4, 4), id="torus"),
+    pytest.param(lambda: Mesh2D(4, 4), id="mesh"),
+    pytest.param(lambda: FatTree(4, 4), id="fattree"),
+    pytest.param(lambda: BiGraph(4, 4), id="bigraph"),
+]
+ALGORITHMS = ["multitree", "ring", "dbtree"]
+SIZES = [4 * KiB, 256 * KiB, 10 * MiB]
+
+
+def assert_identical(a, b):
+    """Full bitwise equality between two SimulationResults."""
+    assert a.finish_time == b.finish_time
+    assert a.timings == b.timings
+    assert a.link_busy == b.link_busy
+    assert a.total_wire_bytes == b.total_wire_bytes
+
+
+class TestEquivalenceBattery:
+    """engine="lockstep" equals engine="event" exactly, everywhere."""
+
+    @pytest.mark.parametrize("make_topo", TOPOLOGIES)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_exact_equality(self, make_topo, algorithm):
+        topo = make_topo()
+        schedule = build_schedule(algorithm, topo)
+        for size in SIZES:
+            event = simulate_allreduce(schedule, size)
+            lockstep = simulate_allreduce(schedule, size, engine="lockstep")
+            assert_identical(event.simulation, lockstep.simulation)
+
+    @pytest.mark.parametrize("make_topo", TOPOLOGIES)
+    def test_compiled_exact_equality(self, make_topo):
+        """The compiled fast path is bit-identical too (both its tiers)."""
+        topo = make_topo()
+        for algorithm in ALGORITHMS:
+            compiled = compile_schedule(build_schedule(algorithm, topo))
+            schedule = build_schedule(algorithm, topo)
+            for size in SIZES:
+                event = simulate_allreduce(schedule, size)
+                fast = compiled.simulate(size)
+                assert_identical(event.simulation, fast.simulation)
+
+    def test_grouped_fast_path_engages(self):
+        """At serialization-dominated sizes the step-level path itself
+        (not a fallback) must produce the results — run_lockstep returns
+        a result instead of None."""
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("ring", topo)
+        fc = PacketBased()
+        messages = build_messages(schedule, 10 * MiB, fc)
+        result = run_lockstep(topo, fc, messages)
+        assert result is not None
+        event = NetworkSimulator(topo, fc).run(messages)
+        assert_identical(event, result)
+
+
+class TestFallback:
+    def test_ungated_with_deps_falls_back(self):
+        """lockstep=False lowering (no gates) must reach the event engine
+        and still give identical results."""
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("multitree", topo)
+        fc = PacketBased()
+        messages = build_messages(schedule, 1 * MiB, fc, lockstep=False)
+        assert run_lockstep(topo, fc, messages) is None
+        sim = NetworkSimulator(topo, fc)
+        assert_identical(
+            sim.run(messages), sim.run(messages, engine="lockstep")
+        )
+
+    def test_fallback_counted_in_metrics(self):
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("multitree", topo)
+        fc = PacketBased()
+        messages = build_messages(schedule, 1 * MiB, fc, lockstep=False)
+        with collecting() as registry:
+            NetworkSimulator(topo, fc).run(messages, engine="lockstep")
+        assert registry.counter_value(
+            "sim.lockstep_fallbacks", topology=topo.name
+        ) == 1
+        # The run itself lands on the event engine.
+        assert registry.counter_value(
+            "sim.engine_runs", engine="event", topology=topo.name
+        ) == 1
+        assert registry.counter_value(
+            "sim.engine_runs", engine="lockstep", topology=topo.name
+        ) == 0
+
+    def test_fast_path_counted_in_metrics(self):
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("ring", topo)
+        fc = PacketBased()
+        messages = build_messages(schedule, 10 * MiB, fc)
+        with collecting() as registry:
+            NetworkSimulator(topo, fc).run(messages, engine="lockstep")
+        assert registry.counter_value(
+            "sim.engine_runs", engine="lockstep", topology=topo.name
+        ) == 1
+        assert registry.counter_value(
+            "sim.engine_runs", engine="event", topology=topo.name
+        ) == 0
+        assert registry.counter_value(
+            "sim.lockstep_fallbacks", topology=topo.name
+        ) == 0
+
+    def test_unknown_engine_rejected(self):
+        sim = NetworkSimulator(Torus2D(2, 2), PacketBased())
+        with pytest.raises(ValueError, match="unknown engine"):
+            sim.run([], engine="warp")
+
+    def test_empty_messages(self):
+        sim = NetworkSimulator(Torus2D(2, 2), PacketBased())
+        res = sim.run([], engine="lockstep")
+        assert res.finish_time == 0.0
+        assert res.timings == []
+        assert res.link_busy == {}
+
+    def test_foreign_route_falls_back(self):
+        """A route naming a link the topology lacks is not resolvable by
+        the table-driven engine; the event engine (which looks links up
+        per hop and raises) stays the semantic reference."""
+        topo = Torus2D(2, 2)
+        fc = PacketBased()
+        messages = [Message(0, 1, 1024.0, route=[(97, 99)])]
+        assert run_lockstep(topo, fc, messages) is None
+
+
+class TestRecorderParity:
+    def test_trace_identical_across_engines(self):
+        """A recorder must observe the same hops and completions from the
+        lockstep engine as from the event engine."""
+        from repro.trace import Trace
+
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("ring", topo)
+        rec_event = Trace()
+        rec_lock = Trace()
+        event = simulate_allreduce(schedule, 10 * MiB, recorder=rec_event)
+        lock = simulate_allreduce(
+            schedule, 10 * MiB, recorder=rec_lock, engine="lockstep"
+        )
+        assert_identical(event.simulation, lock.simulation)
+        key = lambda e: (e.message, e.link, e.arrive, e.grant, e.serialization)
+        assert sorted(map(key, rec_event.hops)) == sorted(
+            map(key, rec_lock.hops)
+        )
+        assert rec_event.messages.keys() == rec_lock.messages.keys()
+        for idx, ev in rec_event.messages.items():
+            lk = rec_lock.messages[idx]
+            assert (ev.ready, ev.inject, ev.deliver, ev.ideal_deliver) == (
+                lk.ready, lk.inject, lk.deliver, lk.ideal_deliver
+            )
+        assert rec_event.gates == rec_lock.gates
+
+
+class TestLinkTable:
+    def test_memoized_per_topology(self):
+        topo = Torus2D(4, 4)
+        assert link_table(topo) is link_table(topo)
+        assert link_table(topo) is not link_table(Torus2D(4, 4))
+
+    def test_dense_ids_cover_all_links(self):
+        topo = FatTree(4, 4)
+        table = LinkTable(topo)
+        assert len(table.keys) == len(topo.links)
+        assert sorted(table.id_of.values()) == list(range(len(table.keys)))
+        for key, lid in table.id_of.items():
+            spec = topo.link(*key)
+            assert table.bandwidth[lid] == spec.bandwidth
+            assert table.latency[lid] == spec.latency
+            assert table.capacity[lid] == spec.capacity

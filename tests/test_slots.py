@@ -1,0 +1,86 @@
+"""``slots=True`` on hot dataclasses: layout guarantees + bit-identity.
+
+The hot per-message and per-op records (:class:`repro.network.Message`,
+:class:`repro.network.MessageTiming`, :class:`repro.collectives.CommOp`)
+carry ``slots=True`` to shrink per-instance memory and speed attribute
+access in the simulator inner loops.  These tests pin the layout (no
+``__dict__`` materializes) and — more importantly — assert the results
+are bit-identical to the preserved seed implementations, so the layout
+change provably altered nothing.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.reference import reference_run, reference_simulate_allreduce
+from repro.collectives import build_schedule
+from repro.collectives.schedule import ChunkRange, CommOp, OpKind
+from repro.network import Message, MessageTiming, NetworkSimulator, PacketBased
+from repro.ni.injector import build_messages, simulate_allreduce
+from repro.topology import FatTree, Torus2D
+
+MiB = 1 << 20
+
+
+class TestSlotsLayout:
+    def test_message_has_no_dict(self):
+        msg = Message(0, 1, 1024.0, route=[(0, 1)])
+        with pytest.raises(AttributeError):
+            msg.scratch = 1
+        assert not hasattr(msg, "__dict__")
+
+    def test_message_timing_has_no_dict(self):
+        timing = MessageTiming(0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            timing.scratch = 1
+        assert not hasattr(timing, "__dict__")
+
+    def test_comm_op_has_no_dict(self):
+        op = CommOp(
+            kind=OpKind.REDUCE,
+            src=0,
+            dst=1,
+            chunk=ChunkRange(Fraction(0), Fraction(1, 4)),
+            step=1,
+        )
+        with pytest.raises(AttributeError):
+            object.__setattr__(op, "scratch", 1)
+        assert not hasattr(op, "__dict__")
+
+    def test_chunk_range_keeps_dict(self):
+        """ChunkRange memoizes its float fraction in ``__dict__`` — it must
+        NOT be slotted (see the note on :class:`CommOp`)."""
+        chunk = ChunkRange(Fraction(0), Fraction(1, 4))
+        assert hasattr(chunk, "__dict__")
+        assert chunk.bytes_of(4.0) == 1.0
+        assert chunk.__dict__.get("_float_fraction") == 0.25
+
+
+class TestBitIdenticalResults:
+    """Slotted classes flow through the whole pipeline unchanged."""
+
+    def test_simulator_matches_reference(self):
+        topo = Torus2D(4, 4)
+        fc = PacketBased()
+        schedule = build_schedule("multitree", topo)
+        messages = build_messages(schedule, 2 * MiB, fc)
+        fast = NetworkSimulator(topo, fc).run(messages)
+        ref = reference_run(topo, fc, messages)
+        assert fast.finish_time == ref.finish_time
+        assert fast.timings == ref.timings
+        assert fast.link_busy == ref.link_busy
+        assert fast.total_wire_bytes == ref.total_wire_bytes
+
+    def test_allreduce_matches_reference(self):
+        for topo, algorithm in (
+            (Torus2D(4, 4), "ring"),
+            (FatTree(4, 4), "multitree"),
+        ):
+            schedule = build_schedule(algorithm, topo)
+            fast = simulate_allreduce(schedule, 1 * MiB)
+            ref = reference_simulate_allreduce(schedule, 1 * MiB)
+            assert fast.time == ref.finish_time
+            assert fast.simulation.finish_time == ref.finish_time
+            assert fast.simulation.timings == ref.timings
+            assert fast.simulation.link_busy == ref.link_busy

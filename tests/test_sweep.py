@@ -145,3 +145,92 @@ class TestRunner:
 
     def test_empty_job_list(self):
         assert run_sweep([]) == []
+
+
+class TestEngineKeying:
+    def test_engine_in_key(self):
+        torus = Torus2D(4, 4)
+        event = prediction_key(
+            torus, "ring", PacketBased(), 32 * KiB, True, engine="event"
+        )
+        lockstep = prediction_key(
+            torus, "ring", PacketBased(), 32 * KiB, True, engine="lockstep"
+        )
+        assert event != lockstep
+        # Default is the event engine, matching run()'s default.
+        assert event == prediction_key(torus, "ring", PacketBased(), 32 * KiB, True)
+
+    def test_stale_event_entry_never_served_to_lockstep(self, tmp_path):
+        """A point cached under engine="event" must be a miss for an
+        engine="lockstep" query — the engines are bit-identical today, but
+        the key must not *assume* that."""
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("ring", topo)
+        cache = PredictionCache(str(tmp_path / "c.json"))
+        sweep_bandwidth_cached(
+            schedule, SIZES, PacketBased(), cache=cache, engine="event"
+        )
+        assert cache.misses == len(SIZES)
+        sweep_bandwidth_cached(
+            schedule, SIZES, PacketBased(), cache=cache, engine="lockstep"
+        )
+        assert cache.hits == 0  # nothing leaked across the engine axis
+        assert cache.misses == 2 * len(SIZES)
+
+    def test_engines_agree_through_cache_layer(self, tmp_path):
+        topo = Torus2D(4, 4)
+        schedule = build_schedule("ring", topo)
+        cache = PredictionCache(str(tmp_path / "c.json"))
+        event = sweep_bandwidth_cached(
+            schedule, SIZES, PacketBased(), cache=cache, engine="event"
+        )
+        lockstep = sweep_bandwidth_cached(
+            schedule, SIZES, PacketBased(), cache=cache, engine="lockstep"
+        )
+        for e, l in zip(event.points, lockstep.points):
+            assert e.time == l.time
+            assert e.bandwidth == l.bandwidth
+
+
+class TestArtifactSweep:
+    def test_artifact_store_wired_through_run_sweep(self, tmp_path):
+        from repro.sweep import ArtifactStore, SweepStats
+
+        jobs = [
+            SweepJob("torus-4x4", "ring", SIZES, engine="lockstep"),
+            SweepJob("torus-4x4", "multitree", SIZES, engine="lockstep"),
+        ]
+        store_dir = str(tmp_path / "artifacts")
+        stats = SweepStats()
+        cold = run_sweep(jobs, artifacts_path=store_dir, stats=stats)
+        assert stats.artifact_misses == len(jobs)
+        assert stats.artifact_hits == 0
+
+        warm_stats = SweepStats()
+        warm = run_sweep(jobs, artifacts_path=store_dir, stats=warm_stats)
+        assert warm_stats.artifact_hits == len(jobs)
+        assert warm_stats.artifact_misses == 0
+        for c, w in zip(cold, warm):
+            assert [p.time for p in c.points] == [p.time for p in w.points]
+
+    def test_artifact_sweep_matches_plain_sweep(self, tmp_path):
+        job = SweepJob("torus-4x4", "ring", SIZES, engine="lockstep")
+        plain = run_job(SweepJob("torus-4x4", "ring", SIZES))
+        from repro.sweep import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        fast = run_job(job, artifacts=store)
+        assert [p.time for p in fast.points] == [p.time for p in plain.points]
+        assert [p.bandwidth for p in fast.points] == [
+            p.bandwidth for p in plain.points
+        ]
+
+    def test_stats_line_reports_artifacts(self):
+        from repro.sweep import SweepStats
+
+        stats = SweepStats(
+            jobs=2, points=4, wall_time_s=0.5, workers=1,
+            artifact_hits=1, artifact_misses=1,
+        )
+        line = stats.format()
+        assert "artifacts: 1 hits, 1 misses" in line
