@@ -36,9 +36,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..collectives import build_schedule
 from ..collectives.multitree import build_trees
-from ..network.flowcontrol import PacketBased
 from ..network.simulator import NetworkSimulator
 from ..ni.injector import build_messages, simulate_allreduce
+from ..scenario import Scenario, scenario_set_fingerprint
 from ..sweep.artifacts import ArtifactStore
 from ..topology import Torus2D
 from .reference import (
@@ -142,9 +142,14 @@ def bench_simulate(
     dims: Tuple[int, int], data_bytes: int = 8 * MiB, repeat: int = 3
 ) -> BenchResult:
     """Time the simulator inner loop on a fixed multitree message set."""
-    topo = Torus2D(*dims)
-    fc = PacketBased()
-    schedule = build_schedule("multitree", topo)
+    scenario = Scenario(
+        topology="torus-%dx%d" % dims, algorithm="multitree",
+        data_bytes=data_bytes,
+    )
+    resolved = scenario.resolve()
+    topo = scenario.build_topology()
+    fc = resolved.flow_control
+    schedule = build_schedule(resolved.builder, topo)
     messages = build_messages(schedule, data_bytes, fc)
     sim = NetworkSimulator(topo, fc)
     fast = sim.run(messages)
@@ -158,6 +163,8 @@ def bench_simulate(
         optimized_s=optimized,
         reference_s=reference,
         meta={
+            "scenario": str(scenario),
+            "fingerprint": scenario.fingerprint(topo),
             "topology": topo.name,
             "messages": len(messages),
             "data_bytes": data_bytes,
@@ -176,11 +183,19 @@ def bench_end_to_end(
     full lowering (dependencies, gates, routes) — exactly what a fresh
     figure-script invocation pays.
     """
-    topo = Torus2D(*dims)
-    fc = PacketBased()
+    scenarios = [
+        Scenario(
+            topology="torus-%dx%d" % dims, algorithm="multitree",
+            data_bytes=size,
+        )
+        for size in sizes
+    ]
+    resolved = scenarios[0].resolve()
+    topo = scenarios[0].build_topology()
+    fc = resolved.flow_control
 
     def optimized_sweep() -> List[float]:
-        schedule = build_schedule("multitree", topo)
+        schedule = build_schedule(resolved.builder, topo)
         return [
             simulate_allreduce(schedule, size, fc).time for size in sizes
         ]
@@ -201,6 +216,8 @@ def bench_end_to_end(
         optimized_s=optimized,
         reference_s=reference,
         meta={
+            "scenarios": [str(s) for s in scenarios],
+            "fingerprint": scenario_set_fingerprint(scenarios),
             "topology": topo.name,
             "sizes": list(sizes),
             "algorithm": "multitree",
@@ -224,9 +241,14 @@ def bench_engine(
     """
     from ..collectives import compile_schedule
 
-    topo = Torus2D(*dims)
-    fc = PacketBased()
-    schedule = build_schedule("multitree", topo)
+    scenario = Scenario(
+        topology="torus-%dx%d" % dims, algorithm="multitree",
+        data_bytes=data_bytes, engine="lockstep",
+    )
+    resolved = scenario.resolve()
+    topo = scenario.build_topology()
+    fc = resolved.flow_control
+    schedule = build_schedule(resolved.builder, topo)
     messages = build_messages(schedule, data_bytes, fc)
     compiled = compile_schedule(schedule)
     sim = NetworkSimulator(topo, fc)
@@ -247,6 +269,8 @@ def bench_engine(
         optimized_s=optimized,
         reference_s=reference,
         meta={
+            "scenario": str(scenario),
+            "fingerprint": scenario.fingerprint(topo),
             "topology": topo.name,
             "messages": len(messages),
             "data_bytes": data_bytes,
@@ -275,10 +299,19 @@ def bench_scaleout(
     persist, paid once ever per topology/algorithm) runs untimed, exactly
     as a warm store amortizes it across figure runs.
     """
+    spec = "torus-%dx%d" % dims
     topo = Torus2D(*dims)
-    fc = PacketBased()
     base = 375 * topo.num_nodes * KiB
     sizes = (base // 4, base // 2, base)
+    scenarios = [
+        Scenario(
+            topology=spec, algorithm=algorithm, data_bytes=size,
+            engine="lockstep",
+        )
+        for algorithm in algorithms
+        for size in sizes
+    ]
+    fc = scenarios[0].resolve().flow_control
     root = store_dir or tempfile.mkdtemp(prefix="repro-bench-artifacts-")
     prewarm = ArtifactStore(root)
     for algorithm in algorithms:
@@ -320,6 +353,8 @@ def bench_scaleout(
         optimized_s=optimized,
         reference_s=reference,
         meta={
+            "scenarios": [str(s) for s in scenarios],
+            "fingerprint": scenario_set_fingerprint(scenarios),
             "topology": topo.name,
             "nodes": topo.num_nodes,
             "algorithms": list(algorithms),

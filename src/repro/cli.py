@@ -9,8 +9,15 @@ Commands
 ``trees``    print MultiTree construction and NI schedule tables (Fig. 3/5)
 ``train``    one training iteration for a DNN workload (Fig. 11 rows)
 ``trace``    simulate one all-reduce with full event tracing and diagnosis
+``scenario`` inspect experiment descriptors: canonical form + fingerprint
 ``table1``   the measured Table I
-``list``     available topologies, algorithms and DNN models
+``list``     available topologies, algorithm variants and DNN models
+
+Every experiment-shaped command parses its arguments into
+:class:`repro.scenario.Scenario` descriptors once, up front — sweep/trace
+accept the canonical one-line form directly (``--scenario
+torus-4x4/multitree-msg/16MiB``) and run manifests fingerprint runs by
+their scenarios.
 
 Global options (before the command): ``--metrics-out PATH`` collects
 aggregate telemetry for the run and writes it as JSON (``.json``) or
@@ -23,12 +30,12 @@ runs.  Either flag turns metric collection on; it is off by default.
 from __future__ import annotations
 
 import argparse
-import re
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
 
-from .analysis import format_bandwidth_table, format_table1, measure_table1, sweep_bandwidth
+from .analysis import format_bandwidth_table, format_table1, measure_table1
 from .bench import (
     compare_to_baseline,
     default_report_path,
@@ -37,7 +44,7 @@ from .bench import (
     run_bench,
     write_report,
 )
-from .collectives import ALGORITHMS, build_schedule, build_trees
+from .collectives import build_schedule, build_trees, variant_names
 from .compute import MODEL_BUILDERS, get_model
 from .metrics import (
     MetricsRegistry,
@@ -49,10 +56,11 @@ from .metrics import (
     write_metrics,
 )
 from .metrics.report import run_report
-from .network import MessageBased, PacketBased
 from .ni import build_schedule_tables, simulate_allreduce
-from .sweep import SweepJob, SweepStats, record_sweep_metrics, run_sweep
-from .topology.specs import TOPOLOGY_HELP, parse_topology, parse_topology_spec
+from .scenario import SCENARIO_HELP, Scenario
+from .scenario import parse_size as _parse_size
+from .sweep import SweepStats, jobs_from_scenarios, run_sweep
+from .topology.specs import TOPOLOGY_HELP, parse_topology
 from .trace import Trace, format_trace_report, write_chrome_trace
 from .training import nonoverlapped_iteration, overlapped_iteration
 
@@ -62,56 +70,70 @@ MiB = 1 << 20
 
 def parse_size(text: str) -> int:
     """Parse a byte size: plain int or K/M/G with optional iB/B suffix."""
-    match = re.fullmatch(
-        r"\s*([0-9]*\.?[0-9]+)\s*(?:([KMG])I?)?B?\s*", text, re.IGNORECASE
-    )
-    if not match:
-        raise SystemExit("cannot parse size %r (try e.g. 32K, 16MiB, 1G)" % text)
-    factor = {None: 1, "K": KiB, "M": MiB, "G": 1 << 30}[
-        match.group(2).upper() if match.group(2) else None
-    ]
-    return int(float(match.group(1)) * factor)
+    try:
+        return _parse_size(text)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def parse_scenario(text: str) -> Scenario:
+    """Parse a canonical scenario string, exiting loudly on bad input."""
+    try:
+        return Scenario.parse(text)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _combined_spec(topology: str, dims: Optional[str]) -> str:
+    """The combined topology spec for split or already-combined CLI args."""
+    return "%s-%s" % (topology, dims) if dims else topology
+
+
+def _make_scenario(**kwargs) -> Scenario:
+    """Construct a Scenario from CLI pieces, exiting loudly on bad input."""
+    try:
+        return Scenario(**kwargs)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _resolve_scenario(scenario: Scenario):
+    """Resolve a scenario against the variant registry, exiting on errors."""
+    try:
+        return scenario.resolve()
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    topology = parse_topology(args.topology, args.dims)
-    sizes = [parse_size(s) for s in args.sizes.split(",")]
-    algorithms = [a.strip() for a in args.algorithms.split(",")]
-    stats = None
-    if args.jobs > 1 or args.cache or args.artifacts or args.engine != "event":
-        spec = "%s-%s" % (args.topology, args.dims)
-        jobs = [
-            SweepJob(
-                topology=spec, algorithm=algorithm, sizes=tuple(sizes),
-                engine=args.engine,
-            )
-            for algorithm in algorithms
-        ]
-        stats = SweepStats()
-        sweeps = run_sweep(
-            jobs, processes=args.jobs, cache_path=args.cache, stats=stats,
-            artifacts_path=args.artifacts,
-        )
+    if args.scenario:
+        scenarios = [parse_scenario(s) for s in args.scenario]
     else:
-        sweeps = []
-        for algorithm in algorithms:
-            if algorithm == "multitree-msg":
-                schedule = build_schedule("multitree", topology)
-                sweeps.append(
-                    sweep_bandwidth(
-                        schedule, sizes, MessageBased(), label="multitree-msg"
-                    )
-                )
-            else:
-                schedule = build_schedule(algorithm, topology)
-                sweeps.append(sweep_bandwidth(schedule, sizes, PacketBased()))
-        registry = get_registry()
-        if registry is not None:
-            for sweep in sweeps:
-                record_sweep_metrics(registry, sweep)
-    print("all-reduce bandwidth on %s" % topology.name)
+        spec = _combined_spec(args.topology, args.dims)
+        sizes = [parse_size(s) for s in args.sizes.split(",")]
+        scenarios = [
+            Scenario(
+                topology=spec, algorithm=algorithm.strip(),
+                data_bytes=size, engine=args.engine,
+            )
+            for algorithm in args.algorithms.split(",")
+            for size in sizes
+        ]
+    args._scenarios = scenarios
+    jobs = jobs_from_scenarios(scenarios)
+    show_stats = (
+        args.jobs > 1 or args.cache or args.artifacts or args.scenario
+        or any(s.engine != "event" for s in scenarios)
+    )
+    stats = SweepStats()
+    sweeps = run_sweep(
+        jobs, processes=args.jobs, cache_path=args.cache, stats=stats,
+        artifacts_path=args.artifacts,
+    )
+    topologies = list(dict.fromkeys(s.topology for s in scenarios))
+    print("all-reduce bandwidth on %s" % ", ".join(topologies))
     print(format_bandwidth_table(sweeps))
-    if stats is not None:
+    if show_stats:
         print(stats.format())
     return 0
 
@@ -165,16 +187,22 @@ def _cmd_trees(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology, args.dims)
+    spec = _combined_spec(args.topology, args.dims)
     model = get_model(args.model)
+    data_bytes = max(1, int(model.gradient_bytes))
     print(
         "%s on %s (%.1fM params, %.1f MB gradients)"
         % (model.name, topology.name, model.total_params / 1e6, model.gradient_bytes / 1e6)
     )
+    scenarios = []
     for algorithm in args.algorithms.split(","):
-        algorithm = algorithm.strip()
-        fc = MessageBased() if algorithm == "multitree-msg" else PacketBased()
-        name = "multitree" if algorithm == "multitree-msg" else algorithm
-        schedule = build_schedule(name, topology)
+        scenario = _make_scenario(
+            topology=spec, algorithm=algorithm.strip(), data_bytes=data_bytes
+        )
+        scenarios.append(scenario)
+        resolved = _resolve_scenario(scenario)
+        algorithm, fc = resolved.label, resolved.flow_control
+        schedule = build_schedule(resolved.builder, topology)
         if args.overlap:
             b = overlapped_iteration(model, schedule, flow_control=fc)
             print(
@@ -189,27 +217,33 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 % (algorithm, b.total_time * 1e3, b.compute_time * 1e3,
                    b.allreduce_time * 1e3, 100 * b.comm_fraction)
             )
+    args._scenarios = scenarios
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    topology = parse_topology_spec(args.topology, args.dims)
-    size = parse_size(args.size)
-    algorithm = args.algorithm.strip()
-    if algorithm == "multitree-msg":
-        name, fc = "multitree", MessageBased()
+    if args.scenario:
+        scenario = parse_scenario(args.scenario)
     else:
-        name = algorithm
-        fc = MessageBased() if args.flow_control == "message" else PacketBased()
-    schedule = build_schedule(name, topology)
+        scenario = _make_scenario(
+            topology=_combined_spec(args.topology, args.dims),
+            algorithm=args.algorithm.strip(),
+            data_bytes=parse_size(args.size),
+            flow_control=(
+                None if args.flow_control == "packet" else args.flow_control
+            ),
+            lockstep=not args.no_lockstep,
+        )
+    args._scenarios = [scenario]
+    resolved = _resolve_scenario(scenario)
+    topology = scenario.build_topology()
+    schedule = build_schedule(resolved.builder, topology)
     recorder = Trace()
     result = simulate_allreduce(
-        schedule, size, fc, lockstep=not args.no_lockstep, recorder=recorder
+        schedule, scenario.data_bytes, resolved.flow_control,
+        lockstep=scenario.lockstep, recorder=recorder,
     )
-    output = args.output or "trace-%s-%s-%s.json" % (
-        algorithm, args.topology if not args.dims else
-        "%s-%s" % (args.topology, args.dims), args.size,
-    )
+    output = args.output or "trace-%s.json" % scenario.slug()
     write_chrome_trace(recorder, output)
     print(format_trace_report(recorder, topology, top=args.top))
     print()
@@ -245,8 +279,42 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("topologies: %s" % TOPOLOGY_HELP)
-    print("algorithms: %s (+ multitree-msg)" % ", ".join(sorted(ALGORITHMS)))
+    print("algorithms: %s" % ", ".join(variant_names()))
     print("models:     %s" % ", ".join(sorted(MODEL_BUILDERS)))
+    print("scenarios:  %s" % SCENARIO_HELP)
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenarios = [parse_scenario(s) for s in args.specs]
+    args._scenarios = scenarios
+    if args.json:
+        payload = []
+        for scenario in scenarios:
+            resolved = _resolve_scenario(scenario)
+            entry = scenario.to_dict()
+            entry["canonical"] = str(scenario)
+            entry["fingerprint"] = scenario.fingerprint()
+            entry["cache_key"] = scenario.cache_key()
+            entry["artifact_key"] = scenario.artifact_key()
+            entry["resolved"] = {
+                "builder": resolved.builder,
+                "flow_control": repr(resolved.flow_control),
+                "label": resolved.label,
+            }
+            payload.append(entry)
+        print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
+        return 0
+    for scenario in scenarios:
+        resolved = _resolve_scenario(scenario)
+        print("scenario:     %s" % scenario)
+        print("fingerprint:  %s" % scenario.fingerprint())
+        print("cache key:    %s" % scenario.cache_key())
+        print("artifact key: %s" % scenario.artifact_key())
+        print(
+            "resolved:     builder=%s flow_control=%r label=%s"
+            % (resolved.builder, resolved.flow_control, resolved.label)
+        )
     return 0
 
 
@@ -271,6 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("sweep", help="all-reduce bandwidth vs data size")
+    p.add_argument(
+        "--scenario", action="append", default=None, metavar="SPEC",
+        help="run this exact scenario (repeatable; overrides "
+             "--topology/--algorithms/--sizes): " + SCENARIO_HELP,
+    )
     p.add_argument("--topology", default="torus")
     p.add_argument("--dims", default="4x4", help=TOPOLOGY_HELP)
     p.add_argument("--algorithms", default="ring,multitree,multitree-msg")
@@ -368,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "trace", help="trace one all-reduce: Perfetto JSON + diagnosis report"
     )
+    p.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="trace this exact scenario (overrides the flags below): "
+             + SCENARIO_HELP,
+    )
     p.add_argument("--algorithm", default="multitree")
     p.add_argument(
         "--topology", default="torus-4x4",
@@ -380,6 +458,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, help="trace JSON path")
     p.add_argument("--top", type=int, default=8, help="hotspot links to report")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "scenario",
+        help="inspect scenario descriptors: canonical form, fingerprint, "
+             "resolution",
+    )
+    p.add_argument("specs", nargs="+", metavar="SPEC", help=SCENARIO_HELP)
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.set_defaults(func=_cmd_scenario)
 
     p = sub.add_parser("table1", help="measured Table I")
     p.set_defaults(func=_cmd_table1)
@@ -394,8 +483,10 @@ def _manifest_labels(args: argparse.Namespace) -> dict:
     skip = {"func", "command", "metrics_out", "manifest", "files"}
     labels = {}
     for key, value in sorted(vars(args).items()):
-        if key in skip or value is None or callable(value):
+        if key in skip or key.startswith("_") or value is None or callable(value):
             continue
+        if key == "scenario" and isinstance(value, list):
+            value = ";".join(value)
         labels[key] = str(value)
     return labels
 
@@ -419,6 +510,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             labels=_manifest_labels(args),
             wall_time_s=wall,
             registry=registry,
+            scenarios=getattr(args, "_scenarios", None),
         )
         append_manifest(args.manifest, record)
         print("appended run %s to %s" % (record["run_id"], args.manifest))

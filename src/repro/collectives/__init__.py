@@ -36,6 +36,15 @@ from .serialization import (
 from .ring2d import ring2d_allreduce
 from .schedule import ChunkRange, CommOp, OpKind, Schedule
 from .validate import ExecutionResult, ScheduleError, execute, verify_allreduce
+from .variants import (
+    AlgorithmVariant,
+    FLOW_CONTROL_FACTORIES,
+    get_variant,
+    make_flow_control,
+    register_variant,
+    resolve_variant,
+    variant_names,
+)
 
 #: Name -> builder for the algorithms evaluated in §VI.
 ALGORITHMS: Dict[str, Callable[[Topology], Schedule]] = {
@@ -74,7 +83,14 @@ def build_schedule(algorithm: str, topology: Topology, **kwargs) -> Schedule:
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmVariant",
     "BinaryTree",
+    "FLOW_CONTROL_FACTORIES",
+    "get_variant",
+    "make_flow_control",
+    "register_variant",
+    "resolve_variant",
+    "variant_names",
     "COMPILED_FORMAT",
     "ChunkRange",
     "CommOp",

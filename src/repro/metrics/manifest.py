@@ -24,7 +24,11 @@ from typing import Dict, List, Optional, Sequence
 from .registry import MetricsRegistry
 
 #: Bump when the manifest record layout changes incompatibly.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: scenario-aware records — a ``scenarios`` list of canonical scenario
+#: strings, and ``fingerprint`` is the scenario-set fingerprint whenever
+#: the run described its work as scenarios (argv-digest fallback kept for
+#: commands without a scenario shape).
+MANIFEST_SCHEMA_VERSION = 2
 
 
 def repro_version() -> str:
@@ -74,9 +78,25 @@ def build_manifest(
     wall_time_s: float,
     registry: Optional[MetricsRegistry] = None,
     run_id: Optional[str] = None,
+    scenarios: Optional[Sequence] = None,
 ) -> Dict[str, object]:
-    """Assemble one manifest record (plain dict, JSON-serializable)."""
+    """Assemble one manifest record (plain dict, JSON-serializable).
+
+    When ``scenarios`` (a sequence of :class:`repro.scenario.Scenario`)
+    is given, the record's fingerprint is the scenario-set fingerprint —
+    the same identity the prediction cache and artifact store derive from
+    — so a manifest row, a cache entry and an artifact for one point all
+    agree.  Without scenarios the argv-digest fallback applies.
+    """
     timestamp = time.time()
+    if scenarios:
+        from ..scenario import scenario_set_fingerprint
+
+        fingerprint = scenario_set_fingerprint(list(scenarios))
+        scenario_strings: Optional[List[str]] = [str(s) for s in scenarios]
+    else:
+        fingerprint = config_fingerprint(command, argv, labels)
+        scenario_strings = None
     record: Dict[str, object] = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "run_id": run_id or "%s-%d" % (command, int(timestamp * 1000)),
@@ -85,7 +105,8 @@ def build_manifest(
         "command": command,
         "argv": list(argv),
         "labels": dict(labels),
-        "fingerprint": config_fingerprint(command, argv, labels),
+        "scenarios": scenario_strings,
+        "fingerprint": fingerprint,
         "version": repro_version(),
         "git_sha": git_sha(),
         "wall_time_s": wall_time_s,

@@ -27,6 +27,8 @@ import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bench.harness import compare_to_baseline, load_report
+from ..scenario import Scenario
+from ..scenario import format_size as _scenario_size
 from .manifest import load_manifests
 from .registry import parse_key
 
@@ -34,6 +36,12 @@ KiB = 1024
 MiB = 1 << 20
 
 SeriesKey = Tuple[str, str, int]  # (topology, algorithm, data_bytes)
+
+
+def _series_label(key: SeriesKey) -> str:
+    """A series key in canonical scenario-string form for report rows."""
+    topology, algorithm, size = key
+    return "%s/%s/%s" % (topology, algorithm, _scenario_size(size))
 
 
 def format_size(size: int) -> str:
@@ -84,13 +92,31 @@ def classify_inputs(
 
 
 def bandwidth_series(record: Dict[str, object]) -> Dict[SeriesKey, float]:
-    """The labeled ``bandwidth`` gauges of one manifest record."""
+    """The labeled ``bandwidth`` gauges of one manifest record.
+
+    Gauges stamped with a ``scenario`` label (the ``+``-separated
+    :meth:`repro.scenario.Scenario.label_form`) key their series from that
+    one descriptor; older records fall back to the separate
+    topology/algorithm/size labels, so reports stay comparable across the
+    schema generations.
+    """
     series: Dict[SeriesKey, float] = {}
     metrics = record.get("metrics") or {}
     for key, value in (metrics.get("gauges") or {}).items():
         name, labels = parse_key(key)
         if name != "bandwidth":
             continue
+        scenario_label = labels.get("scenario")
+        if scenario_label:
+            try:
+                scenario = Scenario.parse(scenario_label)
+            except ValueError:
+                scenario = None
+            if scenario is not None:
+                series[
+                    (scenario.topology, scenario.algorithm, scenario.data_bytes)
+                ] = float(value)
+                continue
         try:
             size = int(labels["size"])
             series[(labels["topology"], labels["algorithm"], size)] = float(value)
@@ -236,9 +262,7 @@ def build_report(
                             floor = base * (1.0 - threshold)
                             if cur < floor:
                                 regressions.append(Regression(
-                                    "bandwidth[%s/%s/%s]" % (
-                                        topology, algorithm, format_size(size)
-                                    ),
+                                    "bandwidth[%s]" % _series_label(key),
                                     cur / 1e9, base / 1e9, floor / 1e9,
                                     unit=" GB/s",
                                 ))

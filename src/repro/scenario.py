@@ -1,0 +1,433 @@
+"""The scenario layer: one typed descriptor per experiment point.
+
+The paper's evaluation (§VI) is a grid of (topology x algorithm variant x
+flow control x payload size) points.  A :class:`Scenario` is that point as
+a first-class, frozen value with
+
+* a **canonical one-line string form** —
+  ``torus-4x4/multitree-msg/16MiB@lockstep`` — parsed and emitted by
+  :meth:`Scenario.parse` / :meth:`Scenario.canonical`;
+* a **dict/JSON round-trip** (:meth:`to_dict` / :meth:`from_dict`);
+* a single :meth:`fingerprint` that subsumes the prediction-cache key
+  (:func:`repro.sweep.cache.prediction_key`), the compiled-artifact key
+  (:func:`repro.sweep.artifacts.artifact_key`) and the run-manifest
+  config fingerprint — identical points always share one identity, no
+  matter which layer asks.
+
+Canonical string grammar::
+
+    scenario  := TOPOLOGY "/" ALGORITHM "/" SIZE [ "@" MOD ("," MOD)* ]
+    TOPOLOGY  := family "-" dims          (e.g. torus-4x4; see repro list)
+    ALGORITHM := a registered variant     (repro.collectives.variant_names)
+    SIZE      := bytes or K/M/GiB form    (e.g. 1MiB, 32K, 12345)
+    MOD       := "packet" | "message"     flow-control override
+               | "free"                   lockstep gating off
+               | "event" | "lockstep"     simulation engine
+               | KEY "=" VALUE            SystemConfig override (Table III)
+
+Mods may equivalently be separated by ``+`` (useful where a comma is a
+delimiter, e.g. metric label sets).  Canonical form omits every default
+and orders mods: flow control, ``free``, engine, overrides (sorted).
+
+Identity is *resolved*: ``torus-4x4/multitree-msg/1MiB`` and
+``torus-4x4/multitree/1MiB@message`` describe the same physical point and
+share one fingerprint, because fingerprints embed the resolved (builder,
+flow control) pairing from the variant registry, not the spelling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Union
+
+from .collectives.variants import (
+    FLOW_CONTROL_FACTORIES,
+    get_variant,
+    variant_names,
+)
+from .config import SystemConfig, TABLE_III
+from .network.flowcontrol import FlowControl
+from .topology.base import Topology, topology_fingerprint
+from .topology.specs import TOPOLOGY_BUILDERS, TOPOLOGY_HELP, parse_topology_spec
+
+KiB = 1024
+MiB = 1 << 20
+GiB = 1 << 30
+
+#: The single invalidation key for every scenario-derived identity: the
+#: prediction cache, the manifest fingerprint, and (through its own
+#: version) the artifact store all embed it.  Bump whenever a change
+#: alters predicted timings or the meaning of a scenario's fields; every
+#: previously persisted key then misses instead of serving stale numbers.
+#: v3: keys are scenario fingerprints — the algorithm field is the
+#: *resolved builder* (variants collapse onto their pairing) and a
+#: SystemConfig-override field joined the key.
+FINGERPRINT_SCHEMA_VERSION = 3
+
+#: Artifact identities are payload independent, so they version separately
+#: (an artifact survives fingerprint-schema bumps that only reprice
+#: predictions).  Bump when the compiled layout changes meaning.
+ARTIFACT_SCHEMA_VERSION = 1
+
+ENGINES = ("event", "lockstep")
+
+#: One-line grammar reminder for CLI help output.
+SCENARIO_HELP = (
+    "TOPOLOGY/ALGORITHM/SIZE[@MOD,...] — mods: packet|message, free, "
+    "event|lockstep, KEY=VALUE (e.g. torus-4x4/multitree-msg/16MiB@lockstep)"
+)
+
+Overrides = Tuple[Tuple[str, object], ...]
+
+_SIZE_RE = re.compile(
+    r"\s*([0-9]*\.?[0-9]+)\s*(?:([KMG])I?)?B?\s*", re.IGNORECASE
+)
+
+_SYSTEM_FIELDS = {f.name for f in dataclasses.fields(SystemConfig)}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size: plain int or K/M/G with optional iB/B suffix."""
+    match = _SIZE_RE.fullmatch(text)
+    if not match:
+        raise ValueError("cannot parse size %r (try e.g. 32K, 16MiB, 1G)" % text)
+    factor = {None: 1, "K": KiB, "M": MiB, "G": GiB}[
+        match.group(2).upper() if match.group(2) else None
+    ]
+    return int(float(match.group(1)) * factor)
+
+
+def format_size(data_bytes: int) -> str:
+    """Canonical size spelling: largest exact binary unit, else raw bytes."""
+    for factor, suffix in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if data_bytes >= factor and data_bytes % factor == 0:
+            return "%d%s" % (data_bytes // factor, suffix)
+    return "%d" % data_bytes
+
+
+def _parse_override_value(text: str) -> object:
+    """Typed override values: int, then float, then bare string."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _format_override_value(value: object) -> str:
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def normalize_overrides(
+    overrides: Union[None, Mapping[str, object], Iterable[Tuple[str, object]]],
+) -> Overrides:
+    """Sorted, hashable override tuple; unknown field names are rejected."""
+    if not overrides:
+        return ()
+    items = sorted(
+        overrides.items() if isinstance(overrides, Mapping) else overrides
+    )
+    for key, _value in items:
+        if key not in _SYSTEM_FIELDS:
+            raise ValueError(
+                "unknown SystemConfig override %r (choose: %s)"
+                % (key, ", ".join(sorted(_SYSTEM_FIELDS)))
+            )
+    return tuple(items)
+
+
+class ResolvedScenario(NamedTuple):
+    """A scenario's registry-resolved execution recipe."""
+
+    builder: str                 # key in repro.collectives.ALGORITHMS
+    flow_control: FlowControl
+    label: str
+    system: SystemConfig
+
+
+def point_key(
+    topology: Topology,
+    algorithm: str,
+    flow_control: FlowControl,
+    data_bytes: int,
+    lockstep: bool = True,
+    engine: str = "event",
+    overrides: Overrides = (),
+) -> str:
+    """The readable identity string behind every scenario fingerprint.
+
+    ``algorithm`` is the resolved builder name; named pairings collapse
+    onto their (builder, flow control) resolution so all spellings of one
+    physical point share one key.  The topology contribution is the
+    structural digest from :func:`repro.topology.base.topology_fingerprint`
+    (name, node counts, every link's parameters).
+    """
+    return "v%d|%s|%s|%s|%d|%s|%s|%s" % (
+        FINGERPRINT_SCHEMA_VERSION,
+        topology_fingerprint(topology),
+        algorithm,
+        repr(flow_control),
+        int(data_bytes),
+        "lockstep" if lockstep else "free",
+        engine,
+        ",".join(
+            "%s=%r" % (key, value) for key, value in overrides
+        ) or "-",
+    )
+
+
+def artifact_fingerprint(
+    topology: Topology,
+    builder_algorithm: str,
+    version: Optional[int] = None,
+) -> str:
+    """Identity of one compiled schedule artifact (payload independent)."""
+    return "v%d|%s|%s" % (
+        ARTIFACT_SCHEMA_VERSION if version is None else version,
+        topology_fingerprint(topology),
+        builder_algorithm,
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment point, fully described by picklable plain data.
+
+    ``topology`` is a combined spec (``torus-4x4``); ``algorithm`` is a
+    registered variant name.  ``flow_control`` of ``None`` defers to the
+    variant's pairing (packet-based when the variant does not pin one).
+    ``overrides`` are Table III :class:`SystemConfig` field replacements.
+    """
+
+    topology: str
+    algorithm: str
+    data_bytes: int
+    flow_control: Optional[str] = None
+    lockstep: bool = True
+    engine: str = "event"
+    overrides: Overrides = ()
+
+    def __post_init__(self) -> None:
+        if int(self.data_bytes) <= 0:
+            raise ValueError("scenario data_bytes must be positive")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                "unknown engine %r (choose: %s)" % (self.engine, "/".join(ENGINES))
+            )
+        if (
+            self.flow_control is not None
+            and self.flow_control not in FLOW_CONTROL_FACTORIES
+        ):
+            raise ValueError(
+                "unknown flow control %r (choose: %s)"
+                % (self.flow_control, sorted(FLOW_CONTROL_FACTORIES))
+            )
+        kind = self.topology.partition("-")[0]
+        if kind not in TOPOLOGY_BUILDERS:
+            raise ValueError(
+                "unknown topology %r in scenario (choose: %s)"
+                % (self.topology, TOPOLOGY_HELP)
+            )
+        object.__setattr__(self, "overrides", normalize_overrides(self.overrides))
+
+    # -- string form -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Scenario":
+        """Parse the canonical one-line form (see module docstring)."""
+        head, _at, modtext = text.strip().partition("@")
+        parts = head.split("/")
+        if len(parts) != 3 or not all(parts):
+            raise ValueError(
+                "cannot parse scenario %r (expected %s)" % (text, SCENARIO_HELP)
+            )
+        topology, algorithm, size = (p.strip() for p in parts)
+        get_variant(algorithm)  # reject unknown variants loudly
+        flow_control: Optional[str] = None
+        lockstep = True
+        engine = "event"
+        overrides: List[Tuple[str, object]] = []
+        for mod in (m.strip() for m in re.split(r"[+,]", modtext) if m.strip()):
+            if "=" in mod:
+                key, _eq, value = mod.partition("=")
+                overrides.append((key.strip(), _parse_override_value(value.strip())))
+            elif mod == "free":
+                lockstep = False
+            elif mod in ENGINES:
+                engine = mod
+            elif mod in ("packet", "message"):
+                flow_control = mod
+            else:
+                raise ValueError(
+                    "unknown scenario mod %r in %r (expected %s)"
+                    % (mod, text, SCENARIO_HELP)
+                )
+        return cls(
+            topology=topology,
+            algorithm=algorithm,
+            data_bytes=parse_size(size),
+            flow_control=flow_control,
+            lockstep=lockstep,
+            engine=engine,
+            overrides=tuple(overrides),
+        )
+
+    def canonical(self, sep: str = ",") -> str:
+        """The canonical string form; defaults are omitted, mods ordered."""
+        mods: List[str] = []
+        if self.flow_control is not None:
+            mods.append(self.flow_control)
+        if not self.lockstep:
+            mods.append("free")
+        if self.engine != "event":
+            mods.append(self.engine)
+        mods.extend(
+            "%s=%s" % (key, _format_override_value(value))
+            for key, value in self.overrides
+        )
+        base = "%s/%s/%s" % (
+            self.topology, self.algorithm, format_size(self.data_bytes)
+        )
+        return base + ("@" + sep.join(mods) if mods else "")
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    def label_form(self) -> str:
+        """Canonical form safe for comma-delimited metric label sets."""
+        return self.canonical(sep="+")
+
+    def slug(self) -> str:
+        """Filesystem-safe form for file names (no ``/``, ``@``, ``=``)."""
+        return re.sub(r"[/@,+=]", "-", self.canonical())
+
+    # -- dict / JSON round-trip -------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "data_bytes": int(self.data_bytes),
+            "flow_control": self.flow_control,
+            "lockstep": self.lockstep,
+            "engine": self.engine,
+            "overrides": {key: value for key, value in self.overrides},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Scenario":
+        return cls(
+            topology=str(payload["topology"]),
+            algorithm=str(payload["algorithm"]),
+            data_bytes=int(payload["data_bytes"]),
+            flow_control=payload.get("flow_control"),
+            lockstep=bool(payload.get("lockstep", True)),
+            engine=str(payload.get("engine", "event")),
+            overrides=normalize_overrides(payload.get("overrides")),
+        )
+
+    # -- resolution --------------------------------------------------------
+
+    def system(self) -> SystemConfig:
+        """Table III with this scenario's overrides applied."""
+        if not self.overrides:
+            return TABLE_III
+        return dataclasses.replace(TABLE_III, **dict(self.overrides))
+
+    def resolve(self) -> ResolvedScenario:
+        """Registry-resolved ``(builder, flow control, label, system)``."""
+        system = self.system()
+        variant = get_variant(self.algorithm)
+        factory = variant.flow_control_factory(self.flow_control)
+        return ResolvedScenario(
+            builder=variant.builder,
+            flow_control=factory(system),
+            label=variant.display_label,
+            system=system,
+        )
+
+    def build_topology(self) -> Topology:
+        return parse_topology_spec(self.topology)
+
+    # -- identity ----------------------------------------------------------
+
+    def cache_key(self, topology: Optional[Topology] = None) -> str:
+        """The readable prediction-cache key for this point.
+
+        Pass the already-built ``topology`` to skip rebuilding it from the
+        spec (the digest is structural, so it must see the real object).
+        """
+        resolved = self.resolve()
+        return point_key(
+            topology if topology is not None else self.build_topology(),
+            resolved.builder,
+            resolved.flow_control,
+            self.data_bytes,
+            self.lockstep,
+            self.engine,
+            self.overrides,
+        )
+
+    def fingerprint(self, topology: Optional[Topology] = None) -> str:
+        """Short stable digest of this point — the one config fingerprint
+        shared by prediction caching, run manifests and reports."""
+        return hashlib.sha256(self.cache_key(topology).encode()).hexdigest()[:16]
+
+    def artifact_key(self, topology: Optional[Topology] = None) -> str:
+        """The compiled-artifact identity for this point's schedule."""
+        return artifact_fingerprint(
+            topology if topology is not None else self.build_topology(),
+            self.resolve().builder,
+        )
+
+
+def scenario_set_fingerprint(scenarios: Sequence[Scenario]) -> str:
+    """One digest for a run over several scenarios (order independent)."""
+    if len(scenarios) == 1:
+        return scenarios[0].fingerprint()
+    joined = "\n".join(sorted(s.fingerprint() for s in scenarios))
+    return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+
+def group_scenarios(
+    scenarios: Sequence[Scenario],
+) -> List[List[Scenario]]:
+    """Group scenarios that differ only in payload size, preserving order.
+
+    Each group is one sweep series (the unit :class:`repro.sweep.SweepJob`
+    runs); within a group the size axis keeps its given order.
+    """
+    groups: Dict[Tuple, List[Scenario]] = {}
+    order: List[Tuple] = []
+    for scenario in scenarios:
+        key = (
+            scenario.topology, scenario.algorithm, scenario.flow_control,
+            scenario.lockstep, scenario.engine, scenario.overrides,
+        )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(scenario)
+    return [groups[key] for key in order]
+
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ENGINES",
+    "FINGERPRINT_SCHEMA_VERSION",
+    "ResolvedScenario",
+    "SCENARIO_HELP",
+    "Scenario",
+    "artifact_fingerprint",
+    "format_size",
+    "group_scenarios",
+    "normalize_overrides",
+    "parse_size",
+    "point_key",
+    "scenario_set_fingerprint",
+    "variant_names",
+]

@@ -16,6 +16,7 @@ from .runner import (
     FLOW_CONTROLS,
     SweepJob,
     SweepStats,
+    jobs_from_scenarios,
     predict_cached,
     record_sweep_metrics,
     run_job,
@@ -32,6 +33,7 @@ __all__ = [
     "PredictionCache",
     "SweepJob",
     "SweepStats",
+    "jobs_from_scenarios",
     "predict_cached",
     "prediction_key",
     "record_sweep_metrics",

@@ -25,20 +25,22 @@ from typing import Optional
 
 from ..collectives.compiled import CompiledSchedule, compile_schedule
 from ..metrics.registry import get_registry
-from ..topology.base import Topology, topology_fingerprint
 
-#: Bump whenever the compiled layout or the lowering it captures changes
-#: meaning; every existing artifact then misses and is rebuilt.
-ARTIFACT_SCHEMA_VERSION = 1
+# The artifact identity scheme lives in the scenario layer so predictions,
+# artifacts and manifests all derive from one place; the schema version is
+# re-exported here for back compatibility.
+from ..scenario import ARTIFACT_SCHEMA_VERSION, artifact_fingerprint
+from ..topology.base import Topology
 
 
 def artifact_key(topology: Topology, algorithm: str) -> str:
-    """Identity of one compiled artifact (payload independent)."""
-    return "v%d|%s|%s" % (
-        ARTIFACT_SCHEMA_VERSION,
-        topology_fingerprint(topology),
-        algorithm,
-    )
+    """Identity of one compiled artifact (payload independent).
+
+    Back-compat shim over :func:`repro.scenario.artifact_fingerprint`;
+    ``algorithm`` is the resolved builder name (named variants share their
+    builder's artifact — flow control does not change the compiled form).
+    """
+    return artifact_fingerprint(topology, algorithm, ARTIFACT_SCHEMA_VERSION)
 
 
 class ArtifactStore:

@@ -33,9 +33,14 @@ from typing import Dict, Optional
 
 from ..network.flowcontrol import FlowControl
 
-# Re-exported for backwards compatibility: the fingerprint now lives with
-# the topology layer so the artifact store can share it without importing
-# the sweep package.
+# The key scheme now lives in the scenario layer (:mod:`repro.scenario`) —
+# one fingerprint shared by prediction caching, artifacts and manifests.
+# This module keeps its historical names as thin shims over it.
+from ..scenario import FINGERPRINT_SCHEMA_VERSION, point_key
+
+# Re-exported for backwards compatibility: the fingerprint lives with the
+# topology layer so the artifact store can share it without importing the
+# sweep package.
 from ..topology.base import Topology, topology_fingerprint
 
 __all__ = [
@@ -45,13 +50,12 @@ __all__ = [
     "topology_fingerprint",
 ]
 
-#: Bump to invalidate every existing cache entry (see module docstring).
-#: v2: the simulation engine joined the key — entries computed by the
-#: event engine are never served to a lockstep-engine query (and vice
-#: versa), even though the two are bit-identical by construction; the key
-#: records how the number was produced so an engine bug cannot hide
-#: behind the other engine's cached results.
-CACHE_SCHEMA_VERSION = 2
+#: The invalidation key, shared with every other scenario-derived identity
+#: (see :data:`repro.scenario.FINGERPRINT_SCHEMA_VERSION` for the bump
+#: policy and history).  v3: keys are scenario point keys — resolved
+#: builder algorithm plus a SystemConfig-override field — so every v2
+#: entry misses rather than being silently reused under the new scheme.
+CACHE_SCHEMA_VERSION = FINGERPRINT_SCHEMA_VERSION
 
 
 def prediction_key(
@@ -62,14 +66,13 @@ def prediction_key(
     lockstep: bool = True,
     engine: str = "event",
 ) -> str:
-    return "v%d|%s|%s|%s|%d|%s|%s" % (
-        CACHE_SCHEMA_VERSION,
-        topology_fingerprint(topology),
-        algorithm,
-        repr(flow_control),
-        int(data_bytes),
-        "lockstep" if lockstep else "free",
-        engine,
+    """Back-compat shim over :func:`repro.scenario.point_key`.
+
+    ``algorithm`` must be the resolved builder name (named variants key by
+    their resolution; see :meth:`repro.scenario.Scenario.cache_key`).
+    """
+    return point_key(
+        topology, algorithm, flow_control, data_bytes, lockstep, engine
     )
 
 

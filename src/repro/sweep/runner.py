@@ -1,11 +1,14 @@
 """Parallel, cache-aware sweep runner for figure-scale prediction grids.
 
-A :class:`SweepJob` names one (topology spec, algorithm, flow control,
-sizes, lockstep) series — everything a worker needs as picklable plain
-data.  :func:`run_sweep` executes a job list either serially or across a
-``multiprocessing`` pool; with a cache path, warm points are served from
-the :mod:`repro.sweep.cache` store and every newly simulated point is
-persisted for the next run.
+A :class:`SweepJob` is a thin series wrapper over the scenario layer
+(:mod:`repro.scenario`): one (topology spec, algorithm variant, flow
+control, sizes, lockstep, engine) series — everything a worker needs as
+picklable plain data, expanding to one :class:`~repro.scenario.Scenario`
+per payload size.  :func:`run_sweep` executes a job list either serially
+or across a ``multiprocessing`` pool; with a cache path, warm points are
+served from the :mod:`repro.sweep.cache` store (keyed by scenario
+fingerprints) and every newly simulated point is persisted for the next
+run.
 
 Workers never write the cache file: each returns its freshly computed
 entries and the parent merges and saves once, so there is no write race
@@ -25,10 +28,13 @@ from ..collectives.schedule import Schedule
 from ..metrics.registry import MetricsRegistry, collecting, get_registry
 from ..network.flowcontrol import FlowControl, MessageBased, PacketBased
 from ..ni.injector import simulate_allreduce
+from ..scenario import Scenario, group_scenarios
 from ..topology.specs import parse_topology_spec
 from .artifacts import ArtifactStore
 from .cache import PredictionCache, prediction_key
 
+#: Kept for back compatibility; the canonical mapping is
+#: :data:`repro.collectives.variants.FLOW_CONTROL_FACTORIES`.
 FLOW_CONTROLS = {"packet": PacketBased, "message": MessageBased}
 
 
@@ -76,32 +82,81 @@ class SweepStats:
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One bandwidth-sweep series, fully described by picklable data."""
+    """One bandwidth-sweep series: a scenario group with a shared size axis.
+
+    Everything here is picklable plain data; :meth:`scenarios` expands the
+    series to one :class:`~repro.scenario.Scenario` per size and
+    :meth:`resolve` delegates name resolution to the algorithm-variant
+    registry (:mod:`repro.collectives.variants`), so named pairings need
+    no special-casing anywhere in the sweep machinery.
+    """
 
     topology: str                 # combined spec, e.g. "torus-8x8"
-    algorithm: str                # algorithm name, or "multitree-msg"
+    algorithm: str                # registered variant name
     sizes: Tuple[int, ...]
     flow_control: str = "packet"  # "packet" | "message"
     lockstep: bool = True
     engine: str = "event"         # "event" | "lockstep"
     label: Optional[str] = None
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def scenario(self, data_bytes: int) -> Scenario:
+        """This series' scenario at one payload size."""
+        # "packet" is the historical field default; a variant that pins
+        # its flow control (e.g. message-based pairings) treats it as
+        # unset rather than as a contradiction.
+        flow_control = None if self.flow_control == "packet" else self.flow_control
+        return Scenario(
+            topology=self.topology,
+            algorithm=self.algorithm,
+            data_bytes=data_bytes,
+            flow_control=flow_control,
+            lockstep=self.lockstep,
+            engine=self.engine,
+            overrides=self.overrides,
+        )
+
+    def scenarios(self) -> Tuple[Scenario, ...]:
+        """One scenario per size, in size-axis order."""
+        return tuple(self.scenario(size) for size in self.sizes)
+
+    @classmethod
+    def from_scenarios(cls, scenarios: Sequence[Scenario],
+                       label: Optional[str] = None) -> "SweepJob":
+        """Build a series from scenarios that differ only in payload size."""
+        if not scenarios:
+            raise ValueError("cannot build a SweepJob from zero scenarios")
+        first = scenarios[0]
+        for other in scenarios[1:]:
+            if (other.topology, other.algorithm, other.flow_control,
+                    other.lockstep, other.engine, other.overrides) != (
+                    first.topology, first.algorithm, first.flow_control,
+                    first.lockstep, first.engine, first.overrides):
+                raise ValueError(
+                    "scenarios %s and %s differ beyond payload size"
+                    % (first, other)
+                )
+        return cls(
+            topology=first.topology,
+            algorithm=first.algorithm,
+            sizes=tuple(s.data_bytes for s in scenarios),
+            flow_control=first.flow_control or "packet",
+            lockstep=first.lockstep,
+            engine=first.engine,
+            label=label,
+            overrides=first.overrides,
+        )
 
     def resolve(self) -> Tuple[str, FlowControl, str]:
-        """(builder algorithm, flow control, display label).
+        """(builder algorithm, flow control, display label)."""
+        resolved = self.scenario(self.sizes[0] if self.sizes else 1).resolve()
+        return resolved.builder, resolved.flow_control, self.label or resolved.label
 
-        ``multitree-msg`` is the CLI/benchmark shorthand for MULTITREE
-        under message-based flow control.
-        """
-        if self.algorithm == "multitree-msg":
-            return "multitree", MessageBased(), self.label or "multitree-msg"
-        try:
-            fc = FLOW_CONTROLS[self.flow_control]()
-        except KeyError:
-            raise ValueError(
-                "unknown flow control %r (choose: %s)"
-                % (self.flow_control, sorted(FLOW_CONTROLS))
-            )
-        return self.algorithm, fc, self.label or self.algorithm
+
+def jobs_from_scenarios(scenarios: Sequence[Scenario]) -> List[SweepJob]:
+    """Fold a flat scenario list into sweep series (one job per group of
+    scenarios differing only in payload size, order preserved)."""
+    return [SweepJob.from_scenarios(group) for group in group_scenarios(scenarios)]
 
 
 def predict_cached(
@@ -111,20 +166,24 @@ def predict_cached(
     lockstep: bool = True,
     cache: Optional[PredictionCache] = None,
     engine: str = "event",
+    key: Optional[str] = None,
 ) -> Dict[str, float]:
     """One prediction point, served from ``cache`` when warm.
 
     ``schedule`` may be a :class:`Schedule` or a
     :class:`repro.collectives.CompiledSchedule` — the cache key and the
     sweep machinery only need ``.topology``/``.algorithm``, and compiled
-    schedules simulate themselves.
+    schedules simulate themselves.  Pass ``key`` (a precomputed scenario
+    cache key, see :meth:`repro.scenario.Scenario.cache_key`) to skip
+    re-deriving it from the schedule — required when the point carries
+    SystemConfig overrides, which the schedule alone cannot know.
     """
-    key = None
     if cache is not None:
-        key = prediction_key(
-            schedule.topology, schedule.algorithm, flow_control,
-            data_bytes, lockstep, engine,
-        )
+        if key is None:
+            key = prediction_key(
+                schedule.topology, schedule.algorithm, flow_control,
+                data_bytes, lockstep, engine,
+            )
         entry = cache.get(key)
         if entry is not None:
             return entry
@@ -153,15 +212,21 @@ def sweep_bandwidth_cached(
     cache: Optional[PredictionCache] = None,
     label: Optional[str] = None,
     engine: str = "event",
+    keys: Optional[Sequence[str]] = None,
 ) -> BandwidthSweep:
-    """Cache-aware drop-in for :func:`repro.analysis.sweep_bandwidth`."""
+    """Cache-aware drop-in for :func:`repro.analysis.sweep_bandwidth`.
+
+    ``keys``, when given, supplies one precomputed scenario cache key per
+    size (aligned with ``sizes``).
+    """
     sweep = BandwidthSweep(
         topology=schedule.topology.name,
         algorithm=label or schedule.algorithm,
     )
-    for size in sizes:
+    for index, size in enumerate(sizes):
         entry = predict_cached(
-            schedule, size, flow_control, lockstep, cache, engine
+            schedule, size, flow_control, lockstep, cache, engine,
+            key=keys[index] if keys is not None else None,
         )
         sweep.points.append(
             SweepPoint(
@@ -175,25 +240,31 @@ def sweep_bandwidth_cached(
     return sweep
 
 
-def record_sweep_metrics(registry: MetricsRegistry, sweep: BandwidthSweep) -> None:
+def record_sweep_metrics(
+    registry: MetricsRegistry,
+    sweep: BandwidthSweep,
+    scenarios: Optional[Sequence[Scenario]] = None,
+) -> None:
     """Publish a sweep's bandwidth points as labeled gauges.
 
     These gauges are what run manifests carry and what ``repro report``
     diffs across runs, so every path that produces a sweep records them.
+    ``scenarios``, when given (aligned with ``sweep.points``), adds each
+    point's canonical scenario string as a ``scenario`` label — the key
+    ``repro report`` prefers when present.
     """
-    for point in sweep.points:
-        registry.gauge(
-            "bandwidth",
-            topology=sweep.topology,
-            algorithm=sweep.algorithm,
-            size=str(point.data_bytes),
-        ).set(point.bandwidth)
-        registry.gauge(
-            "allreduce_time",
-            topology=sweep.topology,
-            algorithm=sweep.algorithm,
-            size=str(point.data_bytes),
-        ).set(point.time)
+    for index, point in enumerate(sweep.points):
+        labels = {
+            "topology": sweep.topology,
+            "algorithm": sweep.algorithm,
+            "size": str(point.data_bytes),
+        }
+        if scenarios is not None:
+            # "+"-separated mod form: metric label sets are comma-joined,
+            # so the canonical comma would corrupt the key encoding.
+            labels["scenario"] = scenarios[index].label_form()
+        registry.gauge("bandwidth", **labels).set(point.bandwidth)
+        registry.gauge("allreduce_time", **labels).set(point.time)
 
 
 def run_job(
@@ -210,16 +281,13 @@ def run_job(
     start = time.perf_counter()
     algorithm, fc, label = job.resolve()
     topology = parse_topology_spec(job.topology)
+    scenarios = job.scenarios()
+    keys = None
     sweep = None
     if cache is not None:
         # Schedule construction is itself expensive at scale; skip it
         # entirely when every requested point is already cached.
-        keys = [
-            prediction_key(
-                topology, algorithm, fc, size, job.lockstep, job.engine
-            )
-            for size in job.sizes
-        ]
+        keys = [s.cache_key(topology) for s in scenarios]
         if all(key in cache for key in keys):
             sweep = BandwidthSweep(topology=topology.name, algorithm=label)
             for size, key in zip(job.sizes, keys):
@@ -239,7 +307,8 @@ def run_job(
         else:
             schedule = build_schedule(algorithm, topology)
         sweep = sweep_bandwidth_cached(
-            schedule, job.sizes, fc, job.lockstep, cache, label, job.engine
+            schedule, job.sizes, fc, job.lockstep, cache, label, job.engine,
+            keys=keys,
         )
     registry = get_registry()
     if registry is not None:
@@ -249,7 +318,7 @@ def run_job(
         registry.histogram("sweep.job_time", **labels).observe(
             time.perf_counter() - start
         )
-        record_sweep_metrics(registry, sweep)
+        record_sweep_metrics(registry, sweep, scenarios)
     return sweep
 
 

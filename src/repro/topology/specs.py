@@ -1,14 +1,19 @@
-"""Textual topology specs shared by the CLI and the parallel sweep runner.
+"""Textual topology specs shared by the CLI, scenarios and sweep jobs.
 
 A spec names a topology family and its dimensions either split
 (``"torus"``, ``"4x4"``) or combined (``"torus-4x4"``).  Specs are plain
-strings, so sweep jobs stay picklable across multiprocessing workers —
-each worker rebuilds its topology from the spec.
+strings, so sweep jobs and :class:`repro.scenario.Scenario` descriptors
+stay picklable across multiprocessing workers — each worker rebuilds its
+topology from the spec.
+
+:data:`TOPOLOGY_BUILDERS` is the single source of truth for which
+families exist; ``repro list`` and the scenario grammar help both derive
+from it.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Sequence
 
 from .base import Topology
 from .bigraph import BiGraph
@@ -17,10 +22,27 @@ from .grid import Mesh2D, Torus2D
 from .ring1d import Ring1D
 from .torus3d import Torus3D
 
-TOPOLOGY_HELP = (
-    "torus WxH | mesh WxH | torus3d WxHxD | ring1d N | "
-    "fattree LEAVESxNODES | bigraph SWITCHES_PER_LAYERxNODES_PER_SWITCH"
+#: Family name -> (dims help, builder over the parsed integer dims).
+TOPOLOGY_BUILDERS: Dict[str, tuple] = {
+    "torus": ("WxH", lambda parts: Torus2D(*parts)),
+    "mesh": ("WxH", lambda parts: Mesh2D(*parts)),
+    "torus3d": ("WxHxD", lambda parts: Torus3D(*parts)),
+    "ring1d": ("N", lambda parts: Ring1D(parts[0])),
+    "fattree": ("LEAVESxNODES", lambda parts: FatTree(*parts)),
+    "bigraph": (
+        "SWITCHES_PER_LAYERxNODES_PER_SWITCH", lambda parts: BiGraph(*parts)
+    ),
+}
+
+TOPOLOGY_HELP = " | ".join(
+    "%s %s" % (kind, dims_help)
+    for kind, (dims_help, _builder) in TOPOLOGY_BUILDERS.items()
 )
+
+
+def topology_kinds() -> Sequence[str]:
+    """The registered topology family names, in registration order."""
+    return tuple(TOPOLOGY_BUILDERS)
 
 
 def parse_topology(kind: str, dims: str) -> Topology:
@@ -28,20 +50,12 @@ def parse_topology(kind: str, dims: str) -> Topology:
         parts = [int(p) for p in dims.lower().split("x")]
     except ValueError:
         raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
-    builders = {
-        "torus": lambda: Torus2D(*parts),
-        "mesh": lambda: Mesh2D(*parts),
-        "torus3d": lambda: Torus3D(*parts),
-        "ring1d": lambda: Ring1D(parts[0]),
-        "fattree": lambda: FatTree(*parts),
-        "bigraph": lambda: BiGraph(*parts),
-    }
     try:
-        builder = builders[kind]
+        _dims_help, builder = TOPOLOGY_BUILDERS[kind]
     except KeyError:
         raise SystemExit("unknown topology %r (choose: %s)" % (kind, TOPOLOGY_HELP))
     try:
-        return builder()
+        return builder(parts)
     except TypeError:
         raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
 

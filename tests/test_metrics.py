@@ -8,6 +8,7 @@ import pytest
 from repro.cli import main
 from repro.collectives import build_schedule
 from repro.metrics import (
+    MANIFEST_SCHEMA_VERSION,
     MetricsRegistry,
     append_manifest,
     build_manifest,
@@ -311,7 +312,7 @@ class TestManifest:
             wall_time_s=0.25,
             registry=reg,
         )
-        assert record["schema"] == 1
+        assert record["schema"] == MANIFEST_SCHEMA_VERSION
         assert record["version"] == repro_version()
         assert record["wall_time_s"] == 0.25
         path = str(tmp_path / "runs.jsonl")
