@@ -13,6 +13,7 @@ from .harness import (
     bench_end_to_end,
     bench_engine,
     bench_scaleout,
+    bench_serve,
     bench_simulate,
     compare_to_baseline,
     default_report_path,
@@ -41,6 +42,7 @@ __all__ = [
     "bench_end_to_end",
     "bench_engine",
     "bench_scaleout",
+    "bench_serve",
     "bench_simulate",
     "compare_to_baseline",
     "default_report_path",

@@ -1,6 +1,6 @@
 """Micro-benchmark harness tracking the fast-path performance trajectory.
 
-Five benchmarks cover the optimized strata:
+Six benchmarks cover the optimized strata:
 
 * ``construction`` — MultiTree spanning-tree construction (Algorithm 1);
 * ``simulate``     — the discrete-event simulator inner loop on a fixed,
@@ -11,7 +11,10 @@ Five benchmarks cover the optimized strata:
   the same message set (results are bit-identical; only speed differs);
 * ``scaleout``     — a Fig. 10-style weak-scaling sweep at scale:
   artifact-warm compiled schedules + lockstep engine vs the cold
-  event-engine/no-artifact pipeline.
+  event-engine/no-artifact pipeline;
+* ``serve``        — request-trace replay through the prediction
+  service (:mod:`repro.serve`): warm-cache QPS vs the cold
+  compile-and-simulate path, with p50/p99 per-query latency.
 
 Each benchmark times the optimized implementation against the seed
 implementation preserved in :mod:`repro.bench.reference` *in the same
@@ -54,7 +57,9 @@ MiB = 1 << 20
 #: Bumped when benchmark definitions change incompatibly; baselines with a
 #: different schema are rejected rather than silently compared.
 #: v2: added the ``engine`` and ``scaleout`` benchmarks.
-BENCH_SCHEMA_VERSION = 2
+#: v3: added the ``serve`` benchmark (warm-cache vs cold-path request
+#: replay through the prediction service).
+BENCH_SCHEMA_VERSION = 3
 
 #: Fig. 9 size axis used by the end-to-end benchmark.
 FIG9_SIZES = (
@@ -365,6 +370,85 @@ def bench_scaleout(
     )
 
 
+def bench_serve(
+    dims: Tuple[int, int] = (4, 4),
+    algorithms: Sequence[str] = ("multitree", "multitree-msg", "ring"),
+    sizes: Optional[Sequence[int]] = None,
+    warm_passes: int = 25,
+    repeat: int = 3,
+) -> BenchResult:
+    """Request-replay through the prediction service: warm vs cold path.
+
+    The trace is one query per (algorithm, size) — the
+    :func:`repro.serve.replay.workload_trace` order, so it reproduces
+    from its parameters alone.  The *reference* side replays it once
+    against an empty state with ``block=True``: every query pays
+    artifact compilation amortized over its first hit plus a lockstep
+    simulation — the per-query cost of a cacheless server.  The
+    *optimized* side replays the now-warm trace ``warm_passes`` times
+    and reports per-pass time, so ``speedup`` is exactly the
+    warm-QPS / cold-QPS ratio the serving story claims (target: >= 100x).
+    p50/p99 per-query latencies for both paths ride along in ``meta``.
+    """
+    from ..serve.replay import replay, workload_trace
+    from ..serve.service import PredictionService
+
+    spec = "torus-%dx%d" % dims
+    sizes = tuple(sizes) if sizes is not None else tuple(
+        32 * KiB << i for i in range(6)  # 32K .. 1M
+    )
+    trace = workload_trace(spec, sizes, algorithms)
+    state_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    service = PredictionService(state_dir, workers=0)
+    try:
+        cold = replay(service, trace, block=True)
+        if cold.errors:
+            raise RuntimeError(
+                "cold replay hit %d errors; trace is not servable" % cold.errors
+            )
+
+        def warm_run():
+            last = None
+            for _ in range(max(1, warm_passes)):
+                last = replay(service, trace)
+            return last
+
+        optimized_total, warm = _best_of_values(warm_run, repeat)
+        if warm.hits != warm.queries:
+            raise RuntimeError(
+                "warm replay missed the cache (%d/%d hits) — the cold pass "
+                "should have warmed every key" % (warm.hits, warm.queries)
+            )
+        optimized = optimized_total / max(1, warm_passes)  # per-pass
+        reference = cold.wall_s
+        cold_qps = cold.queries / reference if reference > 0 else float("inf")
+        warm_qps = warm.queries / optimized if optimized > 0 else float("inf")
+    finally:
+        service.close()
+    return BenchResult(
+        name="serve",
+        optimized_s=optimized,
+        reference_s=reference,
+        meta={
+            "benchmark": "bench_serve",
+            "scenarios": [str(s) for s in trace],
+            "fingerprint": scenario_set_fingerprint(trace),
+            "topology": spec,
+            "queries": len(trace),
+            "warm_passes": warm_passes,
+            "cold_qps": cold_qps,
+            "warm_qps": warm_qps,
+            "qps_ratio": warm_qps / cold_qps if cold_qps > 0 else float("inf"),
+            "cold_p50_s": cold.p50_s,
+            "cold_p99_s": cold.p99_s,
+            "warm_p50_s": warm.p50_s,
+            "warm_p99_s": warm.p99_s,
+            "optimized": "warm prediction cache, per-pass replay time",
+            "reference": "cold path: compile + lockstep simulate per query",
+        },
+    )
+
+
 def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, object]:
     """Run the full harness; ``quick`` shrinks topologies for CI smoke runs."""
     if quick:
@@ -375,6 +459,10 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
             bench_end_to_end((4, 4), sizes=FIG9_SIZES[:4], repeat=reps),
             bench_engine((8, 8), data_bytes=2 * MiB, repeat=reps),
             bench_scaleout((16, 16), algorithms=("2d-ring",), repeat=reps),
+            bench_serve(
+                (4, 4), sizes=tuple(32 * KiB << i for i in range(4)),
+                warm_passes=10, repeat=reps,
+            ),
         ]
     else:
         reps = repeat if repeat is not None else 1
@@ -384,6 +472,7 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
             bench_end_to_end((8, 8), repeat=reps),
             bench_engine((16, 16), repeat=max(3, reps)),
             bench_scaleout((32, 32), repeat=reps),
+            bench_serve((8, 8), repeat=max(3, reps)),
         ]
     return {
         "schema": BENCH_SCHEMA_VERSION,

@@ -4,6 +4,12 @@ Commands
 --------
 ``sweep``    all-reduce bandwidth across data sizes (a Fig. 9 panel);
              ``--jobs``/``--cache`` run it parallel and memoized
+``plan``     scenario planner: latency/bandwidth Pareto frontier per size
+             bucket over the algorithm-variant space (``repro.serve``)
+``serve``    the high-QPS HTTP prediction service (/predict /plan
+             /healthz /metrics) with background cache warming
+``replay``   record or replay a query trace (in-process or --url against
+             a live service), reporting QPS, hit rate and p50/p99
 ``bench``    the fast-path micro-benchmark harness (BENCH_<date>.json)
 ``report``   cross-run comparison dashboard + regression gate (``--check``)
 ``trees``    print MultiTree construction and NI schedule tables (Fig. 3/5)
@@ -12,6 +18,10 @@ Commands
 ``scenario`` inspect experiment descriptors: canonical form + fingerprint
 ``table1``   the measured Table I
 ``list``     available topologies, algorithm variants and DNN models
+
+Size axes (``--sizes``) share one grammar everywhere: comma-separated
+sizes and/or ``LO..HI`` doubling ranges (``32K..64M``), parsed by
+:func:`repro.scenario.parse_sizes`.
 
 Every experiment-shaped command parses its arguments into
 :class:`repro.scenario.Scenario` descriptors once, up front — sweep/trace
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -59,19 +70,28 @@ from .metrics.report import run_report
 from .ni import build_schedule_tables, simulate_allreduce
 from .scenario import SCENARIO_HELP, Scenario
 from .scenario import parse_size as _parse_size
+from .scenario import parse_sizes as _parse_sizes
 from .sweep import SweepStats, jobs_from_scenarios, run_sweep
 from .topology.specs import TOPOLOGY_HELP, parse_topology
 from .trace import Trace, format_trace_report, write_chrome_trace
 from .training import nonoverlapped_iteration, overlapped_iteration
 
-KiB = 1024
-MiB = 1 << 20
+#: Shared size-axis help blurb.
+SIZES_HELP = "comma-separated sizes and/or LO..HI doubling ranges (32K..64M)"
 
 
 def parse_size(text: str) -> int:
     """Parse a byte size: plain int or K/M/G with optional iB/B suffix."""
     try:
         return _parse_size(text)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def parse_sizes(text: str):
+    """Parse a size axis (sizes + ``LO..HI`` ranges), exiting loudly."""
+    try:
+        return _parse_sizes(text)
     except ValueError as error:
         raise SystemExit(str(error))
 
@@ -110,7 +130,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scenarios = [parse_scenario(s) for s in args.scenario]
     else:
         spec = _combined_spec(args.topology, args.dims)
-        sizes = [parse_size(s) for s in args.sizes.split(",")]
+        sizes = parse_sizes(args.sizes)
         scenarios = [
             Scenario(
                 topology=spec, algorithm=algorithm.strip(),
@@ -135,6 +155,150 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(format_bandwidth_table(sweeps))
     if show_stats:
         print(stats.format())
+    return 0
+
+
+def _workload_spec(args: argparse.Namespace):
+    """Build a planner WorkloadSpec from plan/replay-style CLI flags."""
+    from .serve.planner import WorkloadSpec
+
+    try:
+        return WorkloadSpec(
+            topology=_combined_spec(args.topology, args.dims),
+            sizes=parse_sizes(args.sizes),
+            algorithms=tuple(
+                a.strip() for a in (args.algorithms or "").split(",") if a.strip()
+            ),
+            flow_control=args.flow_control,
+            engine=args.engine,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _open_state(args: argparse.Namespace):
+    """(cache, artifacts) for the planner, honoring ``--no-cache``."""
+    from .serve.service import ARTIFACTS_DIRNAME, CACHE_FILENAME
+    from .sweep import ArtifactStore, PredictionCache
+
+    if getattr(args, "no_cache", False):
+        return None, None
+    return (
+        PredictionCache(os.path.join(args.state_dir, CACHE_FILENAME)),
+        ArtifactStore(os.path.join(args.state_dir, ARTIFACTS_DIRNAME)),
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .serve.planner import plan
+
+    spec = _workload_spec(args)
+    cache, artifacts = _open_state(args)
+    result = plan(spec, cache=cache, artifacts=artifacts)
+    if cache is not None:
+        cache.save()
+    args._scenarios = list(result.scenarios)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.format_table())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .metrics import MetricsRegistry, set_registry
+    from .serve.service import (
+        PredictionService,
+        REQUEST_LOG_FILENAME,
+        RequestLog,
+        make_server,
+    )
+
+    registry = MetricsRegistry()
+    # The service's registry doubles as the ambient collector so the
+    # simulator/sweep internals show up on /metrics alongside the
+    # request counters.
+    set_registry(registry)
+    log_path = args.request_log or os.path.join(
+        args.state_dir, REQUEST_LOG_FILENAME
+    )
+    service = PredictionService(
+        args.state_dir,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        retry_after_s=args.retry_after,
+        registry=registry,
+        request_log=RequestLog(log_path),
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        "repro serve listening on http://%s:%d (state %s, %d workers, "
+        "request log %s)" % (host, port, args.state_dir, args.workers, log_path)
+    )
+    print("endpoints: /predict?scenario=...  /plan?topology=...&sizes=...  "
+          "/healthz  /metrics")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        set_registry(None)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .serve.replay import (
+        load_trace,
+        record_trace,
+        replay,
+        replay_http,
+        workload_trace,
+    )
+
+    if args.record:
+        spec = _workload_spec(args)
+        scenarios = workload_trace(
+            spec.topology, spec.sizes, spec.candidate_algorithms(),
+            engine=spec.engine, flow_control=spec.flow_control,
+        )
+        written = record_trace(args.record, scenarios, repeat=args.passes)
+        print("recorded %d queries to %s" % (written, args.record))
+        return 0
+    if not args.trace:
+        raise SystemExit("replay needs --trace PATH (or --record PATH)")
+    try:
+        scenarios = load_trace(args.trace)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    if args.url:
+        stats = replay_http(args.url, scenarios * max(1, args.passes))
+    else:
+        from .serve.service import PredictionService
+
+        service = PredictionService(args.state_dir, workers=0)
+        try:
+            stats = replay(
+                service, scenarios * max(1, args.passes), block=args.block
+            )
+        finally:
+            service.close()
+    print(stats.format())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(stats.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json_out)
+    if stats.hit_rate < args.min_hit_rate:
+        print(
+            "FAIL: hit rate %.2f below required %.2f"
+            % (stats.hit_rate, args.min_hit_rate),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -367,6 +531,124 @@ def build_parser() -> argparse.ArgumentParser:
              "schedules instead of rebuilding them (created if missing)",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "plan",
+        help="Pareto frontier per size bucket over the algorithm-variant "
+             "space (uses the prediction cache; repeat plans are free)",
+    )
+    p.add_argument("--topology", default="torus")
+    p.add_argument("--dims", default="8x8", help=TOPOLOGY_HELP)
+    p.add_argument("--sizes", default="32K..64M", help=SIZES_HELP)
+    p.add_argument(
+        "--algorithms", default=None,
+        help="candidate variants, comma-separated (default: every "
+             "registered variant; incompatible ones are reported skipped)",
+    )
+    p.add_argument(
+        "--flow-control", choices=("packet", "message"), default=None,
+        help="constrain every candidate's flow control (default: each "
+             "variant's own pairing)",
+    )
+    p.add_argument(
+        "--engine", choices=("event", "lockstep"), default="lockstep",
+        help="simulation engine for cold points (default lockstep)",
+    )
+    p.add_argument(
+        "--state-dir", default=".repro", metavar="DIR",
+        help="prediction cache + artifact store directory shared with "
+             "`repro serve` (default .repro, created if missing)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the state dir (every point simulates)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP prediction service: /predict /plan /healthz /metrics, "
+             "warm-cache answers + background compilation on miss",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177, help="0 = ephemeral")
+    p.add_argument(
+        "--state-dir", default=".repro", metavar="DIR",
+        help="prediction cache + artifact store directory (default .repro)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="background compile workers (default 2)",
+    )
+    p.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded compile-queue depth; beyond it misses answer 503",
+    )
+    p.add_argument(
+        "--retry-after", type=float, default=2.0, metavar="SECONDS",
+        help="retry hint returned with 202/503 answers (default 2.0)",
+    )
+    p.add_argument(
+        "--request-log", default=None, metavar="PATH",
+        help="JSONL request manifest (default STATE_DIR/requests.jsonl)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "replay",
+        help="record or replay a query trace against the prediction "
+             "service (in-process, or --url for a live server)",
+    )
+    p.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write the workload's query trace here instead of replaying",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH", help="query trace to replay"
+    )
+    p.add_argument(
+        "--url", default=None, metavar="URL",
+        help="replay over HTTP against this server base "
+             "(e.g. http://127.0.0.1:8177)",
+    )
+    p.add_argument(
+        "--state-dir", default=".repro", metavar="DIR",
+        help="state directory for in-process replay (default .repro)",
+    )
+    p.add_argument(
+        "--passes", type=int, default=1,
+        help="trace traversals (record: repetitions written; replay: "
+             "repetitions driven)",
+    )
+    p.add_argument(
+        "--block", action="store_true",
+        help="in-process replay simulates misses synchronously (cold-path "
+             "timing) instead of counting them as misses",
+    )
+    p.add_argument(
+        "--min-hit-rate", type=float, default=0.0, metavar="FRACTION",
+        help="exit non-zero when the replay hit rate falls below this",
+    )
+    p.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the replay stats as JSON",
+    )
+    p.add_argument("--topology", default="torus")
+    p.add_argument("--dims", default="4x4", help="for --record: " + TOPOLOGY_HELP)
+    p.add_argument("--sizes", default="32K..1M", help="for --record: " + SIZES_HELP)
+    p.add_argument(
+        "--algorithms", default=None, help="for --record: candidate variants"
+    )
+    p.add_argument(
+        "--flow-control", choices=("packet", "message"), default=None,
+        help="for --record: constrain flow control",
+    )
+    p.add_argument(
+        "--engine", choices=("event", "lockstep"), default="lockstep",
+        help="for --record: simulation engine",
+    )
+    p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser(
         "bench", help="fast-path micro-benchmarks vs the seed implementations"

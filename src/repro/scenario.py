@@ -100,6 +100,44 @@ def parse_size(text: str) -> int:
     return int(float(match.group(1)) * factor)
 
 
+def parse_sizes(text: str) -> Tuple[int, ...]:
+    """Parse a size axis: comma-separated sizes and/or ``LO..HI`` ranges.
+
+    A range expands to the geometric doubling ladder from ``LO`` up to
+    ``HI`` — ``32K..64M`` is 32 KiB, 64 KiB, ..., 64 MiB — with ``HI``
+    itself always included even when the ladder does not land on it
+    exactly (the stated bound is an evaluation point, not just a limit).
+    Items may mix freely (``16K,32K..1M,100M``); duplicates collapse,
+    first occurrence wins the ordering.
+
+    This is the one size-axis grammar shared by ``repro sweep --sizes``,
+    ``repro plan --sizes`` and the service's ``sizes=`` query parameter.
+    """
+    sizes: List[int] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if ".." in item:
+            lo_text, _sep, hi_text = item.partition("..")
+            lo, hi = parse_size(lo_text), parse_size(hi_text)
+            if lo <= 0 or hi < lo:
+                raise ValueError(
+                    "bad size range %r (want LO..HI with LO <= HI)" % item
+                )
+            size = lo
+            while size <= hi:
+                sizes.append(size)
+                size *= 2
+            if sizes[-1] != hi:
+                sizes.append(hi)
+        else:
+            sizes.append(parse_size(item))
+    if not sizes:
+        raise ValueError("empty size list %r" % text)
+    return tuple(dict.fromkeys(sizes))
+
+
 def format_size(data_bytes: int) -> str:
     """Canonical size spelling: largest exact binary unit, else raw bytes."""
     for factor, suffix in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
@@ -427,6 +465,7 @@ __all__ = [
     "group_scenarios",
     "normalize_overrides",
     "parse_size",
+    "parse_sizes",
     "point_key",
     "scenario_set_fingerprint",
     "variant_names",

@@ -1,0 +1,455 @@
+"""The high-QPS prediction service behind ``repro serve``.
+
+Two layers, separable for testing and replay benchmarking:
+
+* :class:`PredictionService` — the application object.  It owns the
+  persistent :class:`~repro.sweep.cache.PredictionCache`, the compiled
+  :class:`~repro.sweep.artifacts.ArtifactStore`, a *bounded* background
+  worker pool for cache warming, a metrics registry, and an optional
+  per-request JSONL log.  Warm queries are one dictionary probe; a miss
+  enqueues (artifact build + lockstep run) and reports ``warming`` so
+  the caller retries instead of blocking a request thread on a
+  simulation.
+* :class:`ServiceHandler` + :func:`make_server` — the stdlib
+  ``http.server`` front end (``ThreadingHTTPServer``: one thread per
+  connection, which the warm path's dictionary-probe cost easily
+  sustains at high QPS).  Endpoints::
+
+      GET /predict?scenario=<canonical scenario string>
+      GET /plan?topology=...&sizes=...[&algorithms=...][&flow_control=...]
+      GET /healthz
+      GET /metrics          (Prometheus text exposition)
+
+  ``/predict`` answers 200 from the warm cache, 202 + ``Retry-After``
+  while warming, 503 + ``Retry-After`` when the compile queue is full,
+  400 on a malformed scenario.  ``/plan`` answers 200 when every
+  candidate is warm, else enqueues the gaps and answers 202 with the
+  remaining-miss count.
+
+Every request is counted in the registry (``serve.requests`` by
+endpoint and status, ``serve.request_time`` histograms, predict
+hit/miss counters) and appended to the request log, flushed per line so
+a tail or a crashed service still yields a valid JSONL manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from ..metrics.export import to_prometheus
+from ..metrics.manifest import repro_version
+from ..metrics.registry import MetricsRegistry
+from ..scenario import Scenario
+from ..sweep import ArtifactStore, PredictionCache
+from ..sweep.runner import predict_cached
+from .planner import WorkloadSpec, plan
+
+#: Request-log record layout version.
+REQUEST_LOG_SCHEMA_VERSION = 1
+
+#: Default state-directory file names, shared with the CLI.
+CACHE_FILENAME = "cache.json"
+ARTIFACTS_DIRNAME = "artifacts"
+REQUEST_LOG_FILENAME = "requests.jsonl"
+
+
+class RequestLog:
+    """Append-only JSONL request manifest, flushed per record.
+
+    One record per served request: timestamp, endpoint, query identity,
+    status, outcome source and latency — the serving counterpart of the
+    run manifests in :mod:`repro.metrics.manifest`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = open(path, "a")
+        self.records_written = 0
+
+    def append(self, record: Dict[str, object]) -> None:
+        record = dict(record)
+        record.setdefault("schema", REQUEST_LOG_SCHEMA_VERSION)
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.records_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.close()
+
+
+class PredictionService:
+    """Warm-cache prediction store with bounded background compilation.
+
+    ``workers=0`` disables the pool — misses then only report
+    ``warming`` is impossible, so synchronous callers use
+    ``predict(..., block=True)`` (the planner warm-up and the replay
+    bench's cold path do exactly that).
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        workers: int = 2,
+        queue_size: int = 64,
+        retry_after_s: float = 2.0,
+        registry: Optional[MetricsRegistry] = None,
+        request_log: Optional[RequestLog] = None,
+    ) -> None:
+        self.state_dir = state_dir
+        os.makedirs(state_dir, exist_ok=True)
+        self.cache = PredictionCache(os.path.join(state_dir, CACHE_FILENAME))
+        self.artifacts = ArtifactStore(os.path.join(state_dir, ARTIFACTS_DIRNAME))
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.request_log = request_log
+        self.retry_after_s = retry_after_s
+        self.started_at = time.time()
+        self._queue: "queue.Queue[Optional[Scenario]]" = queue.Queue(
+            maxsize=max(1, queue_size)
+        )
+        self._inflight: set = set()       # cache keys queued or computing
+        self._failed: Dict[str, str] = {}  # cache key -> compile error
+        # Canonical scenario string -> (cache key, fingerprint).  Computing
+        # a cache key builds the topology to digest its structure — far too
+        # slow for the warm path, and the canonical string already pins the
+        # identity, so the mapping is memoized per service.
+        self._identity: Dict[str, Tuple[str, str]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._workers: List[threading.Thread] = []
+        for index in range(max(0, workers)):
+            thread = threading.Thread(
+                target=self._worker_loop, name="serve-worker-%d" % index,
+                daemon=True,
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    # -- prediction core ---------------------------------------------------
+
+    def identity(self, scenario: Scenario) -> Tuple[str, str]:
+        """Memoized ``(cache key, fingerprint)`` for ``scenario``."""
+        text = str(scenario)
+        pair = self._identity.get(text)
+        if pair is None:
+            key = scenario.cache_key()
+            fingerprint = hashlib.sha256(key.encode()).hexdigest()[:16]
+            pair = (key, fingerprint)
+            self._identity[text] = pair  # atomic; benign if raced
+        return pair
+
+    def _compute(self, scenario: Scenario, key: str) -> Dict[str, float]:
+        """Simulate one point through the artifact fast path, cache it."""
+        resolved = scenario.resolve()
+        topology = scenario.build_topology()
+        compiled = self.artifacts.get_or_compile(topology, resolved.builder)
+        entry = predict_cached(
+            compiled, scenario.data_bytes, resolved.flow_control,
+            scenario.lockstep, self.cache, scenario.engine, key=key,
+        )
+        self.cache.save()
+        return entry
+
+    def predict(
+        self, scenario: Scenario, block: bool = False
+    ) -> Tuple[Optional[Dict[str, float]], str]:
+        """One prediction probe: ``(entry, source)``.
+
+        ``source`` is ``"cache"`` on a warm hit.  On a miss: with
+        ``block=True`` the point is simulated synchronously (source
+        ``"simulated"``); otherwise it is handed to the worker pool and
+        the entry is ``None`` with source ``"warming"`` (already queued
+        or computing), ``"enqueued"`` (freshly queued) or
+        ``"overloaded"`` (bounded queue full — retry later).
+        """
+        key, _fingerprint = self.identity(scenario)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self.registry.counter("serve.predict.hits").inc()
+            return entry, "cache"
+        with self._lock:
+            failure = self._failed.get(key)
+        if failure is not None:
+            self.registry.counter("serve.predict.failed").inc()
+            return None, "failed"
+        self.registry.counter("serve.predict.misses").inc()
+        if block:
+            with self._lock:
+                self._inflight.add(key)
+            try:
+                entry = self._compute(scenario, key)
+            finally:
+                with self._lock:
+                    self._inflight.discard(key)
+            return entry, "simulated"
+        return None, self._enqueue(scenario, key)
+
+    def warm(self, scenario: Scenario, key: Optional[str] = None) -> str:
+        """Queue background compilation of ``scenario``; returns the
+        enqueue outcome (``warming``/``enqueued``/``overloaded``)."""
+        return self._enqueue(
+            scenario, key if key is not None else self.identity(scenario)[0]
+        )
+
+    def _enqueue(self, scenario: Scenario, key: str) -> str:
+        with self._lock:
+            if key in self._inflight:
+                return "warming"
+            self._inflight.add(key)
+        try:
+            self._queue.put_nowait(scenario)
+        except queue.Full:
+            with self._lock:
+                self._inflight.discard(key)
+            self.registry.counter("serve.queue_full").inc()
+            return "overloaded"
+        self.registry.counter("serve.enqueued").inc()
+        return "enqueued"
+
+    def _worker_loop(self) -> None:
+        while True:
+            scenario = self._queue.get()
+            if scenario is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            key, _fingerprint = self.identity(scenario)
+            start = time.perf_counter()
+            try:
+                self._compute(scenario, key)
+                self.registry.counter("serve.compiled").inc()
+                self.registry.histogram("serve.compile_time").observe(
+                    time.perf_counter() - start
+                )
+            except Exception as error:
+                # A bad-but-parseable scenario (e.g. a variant the
+                # topology cannot run) must not kill the worker; the key
+                # is remembered as failed so /predict and /plan answer
+                # deterministically instead of re-warming forever.
+                with self._lock:
+                    self._failed[key] = str(error)
+                self.registry.counter("serve.compile_errors").inc()
+                self._log_event("compile_error", scenario, str(error))
+            finally:
+                with self._lock:
+                    self._inflight.discard(key)
+                self._queue.task_done()
+
+    def _log_event(self, kind: str, scenario: Scenario, detail: str) -> None:
+        if self.request_log is not None:
+            self.request_log.append(
+                {
+                    "ts": time.time(),
+                    "endpoint": kind,
+                    "scenario": str(scenario),
+                    "detail": detail,
+                }
+            )
+
+    def failure_reason(self, key: str) -> Optional[str]:
+        """The recorded compile error for ``key``, if warming it failed."""
+        with self._lock:
+            return self._failed.get(key)
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        with self._lock:
+            inflight = len(self._inflight)
+        return {
+            "status": "ok",
+            "version": repro_version(),
+            "uptime_s": time.time() - self.started_at,
+            "cache_entries": len(self.cache),
+            "queue_depth": self._queue.qsize(),
+            "inflight": inflight,
+            "workers": len(self._workers),
+        }
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Wait until the compile queue is empty (tests, clean shutdown)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                idle = not self._inflight
+            if idle and self._queue.qsize() == 0:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def close(self) -> None:
+        """Stop workers and persist the cache; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        self.cache.save()
+        if self.request_log is not None:
+            self.request_log.close()
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes GET requests onto the owning server's ``service``."""
+
+    server_version = "repro-serve/" + repro_version()
+    protocol_version = "HTTP/1.1"
+
+    # BaseHTTPRequestHandler logs to stderr per request; at high QPS that
+    # is the bottleneck, and the request log already records everything.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> PredictionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        start = time.perf_counter()
+        split = urlsplit(self.path)
+        params = dict(parse_qsl(split.query, keep_blank_values=True))
+        endpoint = split.path.rstrip("/") or "/"
+        record: Dict[str, object] = {"ts": time.time(), "endpoint": endpoint}
+        try:
+            if endpoint == "/healthz":
+                status, payload = 200, self.service.health()
+            elif endpoint == "/metrics":
+                status, payload = 200, None  # rendered below, not JSON
+            elif endpoint == "/predict":
+                status, payload = self._predict(params, record)
+            elif endpoint == "/plan":
+                status, payload = self._plan(params, record)
+            else:
+                status, payload = 404, {
+                    "error": "unknown endpoint %s" % endpoint,
+                    "endpoints": ["/predict", "/plan", "/healthz", "/metrics"],
+                }
+        except ValueError as error:
+            status, payload = 400, {"error": str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            status, payload = 500, {"error": str(error)}
+        latency_s = time.perf_counter() - start
+        if endpoint == "/metrics" and status == 200:
+            body = to_prometheus(self.service.registry).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            content_type = "application/json"
+        retry_after = (
+            payload.get("retry_after_s") if isinstance(payload, dict) else None
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", "%d" % max(1, round(retry_after)))
+        self.end_headers()
+        self.wfile.write(body)
+        registry = self.service.registry
+        registry.counter(
+            "serve.requests", endpoint=endpoint, status=str(status)
+        ).inc()
+        registry.histogram("serve.request_time", endpoint=endpoint).observe(
+            latency_s
+        )
+        if self.service.request_log is not None:
+            record.update(status=status, latency_s=latency_s)
+            self.service.request_log.append(record)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _predict(
+        self, params: Dict[str, str], record: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        text = params.get("scenario")
+        if not text:
+            raise ValueError(
+                "predict needs scenario=<canonical scenario string>"
+            )
+        scenario = Scenario.parse(text)  # ValueError -> 400
+        record["scenario"] = str(scenario)
+        entry, source = self.service.predict(scenario)
+        key, fingerprint = self.service.identity(scenario)
+        record["source"] = source
+        if entry is not None:
+            payload: Dict[str, object] = {
+                "scenario": str(scenario),
+                "fingerprint": fingerprint,
+                "source": source,
+            }
+            payload.update(entry)
+            return 200, payload
+        if source == "failed":
+            return 422, {
+                "scenario": str(scenario),
+                "error": self.service.failure_reason(key)
+                or "scenario cannot be compiled",
+            }
+        status = 503 if source == "overloaded" else 202
+        return status, {
+            "scenario": str(scenario),
+            "fingerprint": fingerprint,
+            "status": source,
+            "retry_after_s": self.service.retry_after_s,
+        }
+
+    def _plan(
+        self, params: Dict[str, str], record: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        spec = WorkloadSpec.from_query(params)  # ValueError -> 400
+        record["plan"] = "%s sizes=%d" % (spec.topology, len(spec.sizes))
+        # Serve plans from the warm cache only: a request thread never
+        # simulates.  Candidates still cold are enqueued for the pool.
+        missing = 0
+        for scenario in spec.candidates():
+            try:
+                key, _fingerprint = self.service.identity(scenario)
+            except Exception:
+                continue  # unresolvable candidate; plan() records it
+            if (
+                key not in self.service.cache
+                and self.service.failure_reason(key) is None
+            ):
+                missing += 1
+                self.service.warm(scenario, key)
+        if missing:
+            record["source"] = "warming"
+            return 202, {
+                "status": "warming",
+                "missing": missing,
+                "retry_after_s": self.service.retry_after_s,
+            }
+        result = plan(
+            spec, cache=self.service.cache, artifacts=self.service.artifacts
+        )
+        record["source"] = "cache"
+        self.service.registry.counter("serve.plans").inc()
+        return 200, result.to_dict()
+
+
+def make_server(
+    service: PredictionService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind the HTTP front end; ``port=0`` picks an ephemeral port.
+
+    The caller runs ``serve_forever()`` (usually on its own thread) and
+    owns shutdown: ``server.shutdown()`` then ``service.close()``.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server

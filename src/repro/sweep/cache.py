@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from typing import Dict, Optional
 
 from ..network.flowcontrol import FlowControl
@@ -88,15 +89,34 @@ class PredictionCache:
 
     @staticmethod
     def _read(path: str) -> Dict[str, Dict[str, float]]:
+        """Entries on disk; a missing file is the normal cold start, while
+        a corrupt or truncated one starts empty *with a warning* — the
+        cache must never take the process down, only cost re-simulation."""
         try:
             with open(path) as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             return {}
-        if not isinstance(payload, dict):
+        except ValueError:
+            warnings.warn(
+                "prediction cache %s is corrupt or truncated; starting "
+                "empty (the next save rewrites it atomically)" % path,
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return {}
-        entries = payload.get("entries")
-        return entries if isinstance(entries, dict) else {}
+        entries = (
+            payload.get("entries") if isinstance(payload, dict) else None
+        )
+        if not isinstance(entries, dict):
+            warnings.warn(
+                "prediction cache %s has an unexpected layout; starting "
+                "empty (the next save rewrites it atomically)" % path,
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return {}
+        return entries
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -31,6 +31,7 @@ from repro.scenario import (
     format_size,
     group_scenarios,
     parse_size,
+    parse_sizes,
     point_key,
     scenario_set_fingerprint,
 )
@@ -94,6 +95,29 @@ class TestSizes:
     @given(st.integers(min_value=1, max_value=1 << 50))
     def test_format_parse_round_trip(self, data_bytes):
         assert parse_size(format_size(data_bytes)) == data_bytes
+
+    def test_parse_sizes_comma_list(self):
+        assert parse_sizes("32K,1M,16M") == (32 << 10, 1 << 20, 16 << 20)
+
+    def test_parse_sizes_doubling_range(self):
+        assert parse_sizes("32K..256K") == (
+            32 << 10, 64 << 10, 128 << 10, 256 << 10,
+        )
+        # A non-power-of-two endpoint is included as the final bucket.
+        assert parse_sizes("32K..96K") == (32 << 10, 64 << 10, 96 << 10)
+
+    def test_parse_sizes_mixed_and_deduped(self):
+        assert parse_sizes("16K, 32K..64K, 64K") == (
+            16 << 10, 32 << 10, 64 << 10,
+        )
+
+    def test_parse_sizes_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            parse_sizes("1M..32K")  # descending range
+        with pytest.raises(ValueError):
+            parse_sizes("")
+        with pytest.raises(ValueError):
+            parse_sizes("32K..lots")
 
 
 class TestGrammar:

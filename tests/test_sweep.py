@@ -1,6 +1,7 @@
 """repro.sweep: prediction cache keying/persistence and the sweep runner."""
 
 import json
+import warnings
 
 import pytest
 
@@ -66,6 +67,16 @@ class TestPredictionCache:
         path.write_text("{not json")
         cache = PredictionCache(str(path))
         assert len(cache) == 0
+
+    def test_corrupt_file_warns(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="corrupt or truncated"):
+            PredictionCache(str(path))
+        # A missing file is a normal cold start: no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PredictionCache(str(tmp_path / "absent.json"))
 
     def test_save_merges_with_disk(self, tmp_path):
         path = str(tmp_path / "cache.json")
