@@ -14,7 +14,10 @@ Six benchmarks cover the optimized strata:
   event-engine/no-artifact pipeline;
 * ``serve``        — request-trace replay through the prediction
   service (:mod:`repro.serve`): warm-cache QPS vs the cold
-  compile-and-simulate path, with p50/p99 per-query latency.
+  compile-and-simulate path, with p50/p99 per-query latency;
+* ``batch``        — one-pass batched vectorized evaluation of a
+  Fig. 10-style multi-size doubling range (``lockstep-vec``) vs the
+  per-size scalar lockstep engine, artifact-warm on both sides.
 
 Each benchmark times the optimized implementation against the seed
 implementation preserved in :mod:`repro.bench.reference` *in the same
@@ -59,7 +62,9 @@ MiB = 1 << 20
 #: v2: added the ``engine`` and ``scaleout`` benchmarks.
 #: v3: added the ``serve`` benchmark (warm-cache vs cold-path request
 #: replay through the prediction service).
-BENCH_SCHEMA_VERSION = 3
+#: v4: added the ``batch`` benchmark (one-pass vectorized multi-size
+#: evaluation vs per-size scalar lockstep) and numpy/engine metadata.
+BENCH_SCHEMA_VERSION = 4
 
 #: Fig. 9 size axis used by the end-to-end benchmark.
 FIG9_SIZES = (
@@ -449,6 +454,101 @@ def bench_serve(
     )
 
 
+def bench_batch(
+    dims: Tuple[int, int],
+    algorithms: Sequence[str] = ("ring", "2d-ring"),
+    num_sizes: int = 5,
+    repeat: int = 1,
+    store_dir: Optional[str] = None,
+) -> BenchResult:
+    """One-pass batched vectorized sweep vs per-size scalar lockstep.
+
+    The size axis is a doubling ladder ending at the paper's Fig. 10
+    weak-scaling operating point (375 KiB x num_nodes) — the shape every
+    multi-size sweep and planner bucket evaluates.  Both sides run
+    artifact-warm on the *same* compiled schedule, so the comparison
+    isolates exactly what the vectorized engine changes: the optimized
+    side evaluates all ``num_sizes`` payloads in one
+    :meth:`~repro.collectives.compiled.CompiledSchedule.simulate_batch`
+    call per algorithm (``lockstep-vec``); the reference side runs the
+    scalar lockstep engine once per size.  The cross-check enforces
+    exact ``==`` equality of every predicted time and zero fallbacks —
+    the benchmark must measure the vectorized path, not the ladder.
+    """
+    spec = "torus-%dx%d" % dims
+    topo = Torus2D(*dims)
+    base = 375 * topo.num_nodes * KiB
+    sizes = tuple(base >> (num_sizes - 1 - i) for i in range(num_sizes))
+    scenarios = [
+        Scenario(
+            topology=spec, algorithm=algorithm, data_bytes=size,
+            engine="lockstep-vec",
+        )
+        for algorithm in algorithms
+        for size in sizes
+    ]
+    fc = scenarios[0].resolve().flow_control
+    root = store_dir or tempfile.mkdtemp(prefix="repro-bench-artifacts-")
+    store = ArtifactStore(root)
+    compiled_by_algo = {
+        algorithm: store.get_or_compile(topo, algorithm)
+        for algorithm in algorithms
+    }
+
+    def optimized_sweep():
+        times: List[float] = []
+        fallbacks = 0
+        for algorithm in algorithms:
+            batch = compiled_by_algo[algorithm].simulate_batch(sizes, fc)
+            fallbacks += batch.fallbacks
+            times.extend(point.time for point in batch.points)
+        return times, fallbacks
+
+    def reference_sweep() -> List[float]:
+        times: List[float] = []
+        for algorithm in algorithms:
+            compiled = compiled_by_algo[algorithm]
+            times.extend(
+                compiled.simulate(size, fc, engine="lockstep").time
+                for size in sizes
+            )
+        return times
+
+    # Untimed warm-up builds the memoized vectorization plan and step
+    # groups, so both timed sides measure steady-state sweep cost.
+    fast_times, fallbacks = optimized_sweep()
+    ref_times = reference_sweep()
+    if fallbacks:
+        raise RuntimeError(
+            "vectorized engine fell back %d times; the batch benchmark "
+            "must measure the vectorized path" % fallbacks
+        )
+    if fast_times != ref_times:
+        raise RuntimeError(
+            "batched vectorized engine diverged from scalar lockstep"
+        )
+    optimized = _best_of(optimized_sweep, repeat)
+    reference = _best_of(reference_sweep, repeat)
+    return BenchResult(
+        name="batch",
+        optimized_s=optimized,
+        reference_s=reference,
+        meta={
+            "scenarios": [str(s) for s in scenarios],
+            "fingerprint": scenario_set_fingerprint(scenarios),
+            "topology": topo.name,
+            "nodes": topo.num_nodes,
+            "algorithms": list(algorithms),
+            "sizes": list(sizes),
+            "engine": "lockstep-vec",
+            "reference_engine": "lockstep",
+            "fallbacks": fallbacks,
+            "optimized": "one run_batch pass over all sizes",
+            "reference": "scalar lockstep engine per size",
+        },
+    )
+
+
 def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, object]:
     """Run the full harness; ``quick`` shrinks topologies for CI smoke runs."""
     if quick:
@@ -463,6 +563,9 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
                 (4, 4), sizes=tuple(32 * KiB << i for i in range(4)),
                 warm_passes=10, repeat=reps,
             ),
+            bench_batch(
+                (16, 16), algorithms=("2d-ring",), num_sizes=4, repeat=reps
+            ),
         ]
     else:
         reps = repeat if repeat is not None else 1
@@ -473,12 +576,16 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
             bench_engine((16, 16), repeat=max(3, reps)),
             bench_scaleout((32, 32), repeat=reps),
             bench_serve((8, 8), repeat=max(3, reps)),
+            bench_batch((32, 32), repeat=reps),
         ]
+    import numpy
+
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "date": datetime.date.today().isoformat(),
         "quick": quick,
         "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
         "platform": platform.platform(),
         "results": {r.name: r.to_dict() for r in results},
     }

@@ -521,9 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent prediction cache file (created if missing)",
     )
     p.add_argument(
-        "--engine", choices=("event", "lockstep"), default="event",
-        help="simulation engine (lockstep: step-level fast path, "
-             "bit-identical results, falls back per run if ungated)",
+        "--engine", choices=("event", "lockstep", "lockstep-vec"),
+        default="event",
+        help="simulation engine (lockstep: step-level fast path; "
+             "lockstep-vec: vectorized batch fast path; both bit-identical, "
+             "falling back down the engine ladder per run if ungated)",
     )
     p.add_argument(
         "--artifacts", default=None, metavar="DIR",
@@ -551,8 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
              "variant's own pairing)",
     )
     p.add_argument(
-        "--engine", choices=("event", "lockstep"), default="lockstep",
-        help="simulation engine for cold points (default lockstep)",
+        "--engine", choices=("event", "lockstep", "lockstep-vec"),
+        default="lockstep-vec",
+        help="simulation engine for cold points (default lockstep-vec: "
+             "batched vectorized evaluation of each size bucket)",
     )
     p.add_argument(
         "--state-dir", default=".repro", metavar="DIR",
@@ -645,7 +649,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="for --record: constrain flow control",
     )
     p.add_argument(
-        "--engine", choices=("event", "lockstep"), default="lockstep",
+        "--engine", choices=("event", "lockstep", "lockstep-vec"),
+        default="lockstep-vec",
         help="for --record: simulation engine",
     )
     p.set_defaults(func=_cmd_replay)

@@ -78,6 +78,8 @@ class CompiledSchedule:
         "_dep_struct",
         "_frac_arr",
         "_steps_arr",
+        "_vec_plan",
+        "_wire_classes",
     )
 
     def __init__(
@@ -127,6 +129,8 @@ class CompiledSchedule:
         self._dep_struct = None
         self._frac_arr = None
         self._steps_arr = None
+        self._vec_plan = None
+        self._wire_classes = None
 
     def __len__(self) -> int:
         return len(self.srcs)
@@ -252,14 +256,16 @@ class CompiledSchedule:
 
         Bit-identical to
         :func:`repro.ni.injector.simulate_allreduce` on the schedule this
-        was compiled from, for both engines.  ``engine="lockstep"`` (the
+        was compiled from, for every engine.  ``engine="lockstep"`` (the
         default here — the artifact path exists for speed) feeds the
         step-level engine directly from the compiled arrays, skipping
         :class:`Message` allocation entirely, and drops to the
         heap-ordered array engine (:func:`run_indexed`, equally exact)
-        when step-level grouping would diverge; ``engine="event"``, a
-        ``recorder``, or ``lockstep=False`` route through the ordinary
-        simulator.
+        when step-level grouping would diverge; ``engine="lockstep-vec"``
+        runs the numpy engine of :mod:`repro.network.lockstep_vec` (a
+        one-column batch) with the same scalar ladder as its fallback;
+        ``engine="event"``, a ``recorder``, or ``lockstep=False`` route
+        through the ordinary simulator.
         """
         from ..network.flowcontrol import DEFAULT_FLOW_CONTROL
         from ..network.simulator import NetworkSimulator
@@ -269,6 +275,14 @@ class CompiledSchedule:
             flow_control = DEFAULT_FLOW_CONTROL
         if data_bytes <= 0:
             raise ValueError("data_bytes must be positive")
+        if engine == "lockstep-vec" and lockstep and recorder is None:
+            from ..network.lockstep_vec import run_batch
+
+            batch = run_batch(
+                self, (data_bytes,), flow_control, lockstep,
+                scheduling_overhead, keep_timings=True,
+            )
+            return batch.results[0]
         if engine == "lockstep" and lockstep and recorder is None:
             import numpy as np
 
@@ -332,6 +346,30 @@ class CompiledSchedule:
         sim = NetworkSimulator(self.topology, flow_control)
         return AllReduceResult(
             self, data_bytes, sim.run(messages, recorder, engine=engine)
+        )
+
+    def simulate_batch(
+        self,
+        sizes: Sequence[int],
+        flow_control=None,
+        lockstep: bool = True,
+        scheduling_overhead: float = 0.0,
+        keep_timings: bool = False,
+    ):
+        """Evaluate every payload size in one vectorized pass.
+
+        Thin wrapper over :func:`repro.network.lockstep_vec.run_batch`:
+        the schedule structure is walked once and a trailing size axis
+        carries the whole batch, with per-size scalar fallback (counted,
+        never silent) wherever the vectorized engine declines.  Every
+        returned number is bit-identical to per-size
+        ``simulate(size, engine="lockstep")`` calls.
+        """
+        from ..network.lockstep_vec import run_batch
+
+        return run_batch(
+            self, sizes, flow_control, lockstep, scheduling_overhead,
+            keep_timings=keep_timings,
         )
 
     # -- serialization -----------------------------------------------------

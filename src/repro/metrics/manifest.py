@@ -28,7 +28,10 @@ from .registry import MetricsRegistry
 #: strings, and ``fingerprint`` is the scenario-set fingerprint whenever
 #: the run described its work as scenarios (argv-digest fallback kept for
 #: commands without a scenario shape).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: records the numpy version and the simulation engine that produced
+#: the numbers (the vectorized engine's results depend on numpy, so a
+#: drift investigation needs both pinned in the record).
+MANIFEST_SCHEMA_VERSION = 3
 
 
 def repro_version() -> str:
@@ -97,6 +100,15 @@ def build_manifest(
     else:
         fingerprint = config_fingerprint(command, argv, labels)
         scenario_strings = None
+    engines = sorted(
+        {getattr(s, "engine", None) for s in scenarios or ()} - {None}
+    ) or ([labels["engine"]] if labels.get("engine") else [])
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:
+        numpy_version = None
     record: Dict[str, object] = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "run_id": run_id or "%s-%d" % (command, int(timestamp * 1000)),
@@ -107,6 +119,8 @@ def build_manifest(
         "labels": dict(labels),
         "scenarios": scenario_strings,
         "fingerprint": fingerprint,
+        "engines": engines,
+        "numpy": numpy_version,
         "version": repro_version(),
         "git_sha": git_sha(),
         "wall_time_s": wall_time_s,

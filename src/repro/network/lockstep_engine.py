@@ -45,44 +45,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..topology.base import LinkKey, Topology
+from ..topology.base import Topology
 from .flowcontrol import FlowControl
+from .links import LinkTable, link_table
 from .simulator import Message, MessageTiming, SimulationResult
+
+__all__ = [
+    "DepStructure",
+    "LazyTimings",
+    "LinkTable",
+    "dep_structure",
+    "flatten_lists",
+    "link_table",
+    "run_grouped",
+    "run_indexed",
+    "run_lockstep",
+]
 
 #: ``(dependents_off, dependents_val, dep_counts)`` — CSR adjacency of
 #: "who waits on message i" plus the per-message unresolved-dependency
 #: counts.  See :func:`dep_structure`.
 DepStructure = Tuple[List[int], List[int], List[int]]
-
-
-class LinkTable:
-    """Integer-indexed snapshot of a topology's links.
-
-    Maps every :data:`LinkKey` to a dense id so the hot loop can use list
-    indexing instead of tuple-keyed dictionary lookups.  Topologies are
-    immutable, so the table is built once and memoized per instance.
-    """
-
-    __slots__ = ("keys", "id_of", "bandwidth", "latency", "capacity")
-
-    def __init__(self, topology: Topology) -> None:
-        links = topology.links
-        self.keys: List[LinkKey] = list(links)
-        self.id_of: Dict[LinkKey, int] = {
-            key: i for i, key in enumerate(self.keys)
-        }
-        specs = [links[key] for key in self.keys]
-        self.bandwidth: List[float] = [spec.bandwidth for spec in specs]
-        self.latency: List[float] = [spec.latency for spec in specs]
-        self.capacity: List[int] = [spec.capacity for spec in specs]
-
-
-def link_table(topology: Topology) -> LinkTable:
-    """The memoized :class:`LinkTable` of ``topology``."""
-    table = topology.__dict__.get("_link_table")
-    if table is None:
-        table = topology.__dict__["_link_table"] = LinkTable(topology)
-    return table
 
 
 def flatten_lists(lists: Sequence[Sequence[int]]) -> Tuple[List[int], List[int]]:

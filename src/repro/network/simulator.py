@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from ..metrics.registry import get_registry
 from ..topology.base import LinkKey, Topology
 from .flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
+from .links import link_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..trace.events import TraceRecorder
@@ -139,7 +140,41 @@ class NetworkSimulator:
           lockstep-gated (or deliveries overrun a later gate enough to
           reorder processing across steps) it automatically falls back to
           the event engine and counts ``sim.lockstep_fallbacks``.
+        * ``"lockstep-vec"`` — the numpy-vectorized engine of
+          :mod:`repro.network.lockstep_vec`, which resolves each step's
+          per-link FIFO pass with array ops.  Results are bit-identical
+          when the engine accepts the message set (link-disjoint steps,
+          clean gate boundaries); otherwise it declines and the run falls
+          down the ladder to ``"lockstep"`` and then ``"event"``, with
+          each decline counted (``sim.lockstep_vec_fallbacks`` /
+          ``sim.lockstep_fallbacks``), never silent.
         """
+        if engine not in ("event", "lockstep", "lockstep-vec"):
+            raise ValueError(
+                "unknown engine %r (choose: event, lockstep, lockstep-vec)"
+                % (engine,)
+            )
+        if engine == "lockstep-vec":
+            from .lockstep_vec import run_lockstep_vec
+
+            result = run_lockstep_vec(
+                self.topology, self.flow_control, messages, recorder
+            )
+            registry = get_registry()
+            if result is not None:
+                if registry is not None:
+                    registry.counter(
+                        "sim.engine_runs",
+                        engine="lockstep-vec",
+                        topology=self.topology.name,
+                    ).inc()
+                    self._record_metrics(registry, messages, result)
+                return result
+            if registry is not None:
+                registry.counter(
+                    "sim.lockstep_vec_fallbacks", topology=self.topology.name
+                ).inc()
+            engine = "lockstep"  # next rung of the fallback ladder
         if engine == "lockstep":
             from .lockstep_engine import run_lockstep
 
@@ -160,19 +195,21 @@ class NetworkSimulator:
                 registry.counter(
                     "sim.lockstep_fallbacks", topology=self.topology.name
                 ).inc()
-        elif engine != "event":
-            raise ValueError(
-                "unknown engine %r (choose: event, lockstep)" % (engine,)
-            )
         topo = self.topology
         fc = self.flow_control
 
-        # Hot-loop setup: one link-spec snapshot (dict lookups instead of
-        # method calls per hop), per-payload wire-size memoization (an
+        # Hot-loop setup: the shared memoized link-spec snapshot (dense
+        # integer link ids instead of tuple-keyed dictionary lookups per
+        # hop — the same :class:`repro.network.links.LinkTable` the
+        # lockstep engines use), per-payload wire-size memoization (an
         # all-reduce has few distinct payload sizes), and local bindings of
         # the attributes the loop touches on every event.
-        link_map = topo.links
-        channels: Dict[LinkKey, List[float]] = {}
+        table = link_table(topo)
+        id_of = table.id_of
+        bandwidth_col = table.bandwidth
+        latency_col = table.latency
+        capacity_col = table.capacity
+        channels: Dict[int, List[float]] = {}
         wire_cache: Dict[float, float] = {}
         wire_bytes = fc.wire_bytes
         heappush = heapq.heappush
@@ -231,11 +268,11 @@ class NetworkSimulator:
                 lat_sum = 0.0
                 max_ser = 0.0
                 for key in route:
-                    spec = link_map[key]
-                    pool = channels_get(key)
+                    li = id_of[key]
+                    pool = channels_get(li)
                     if pool is None:
-                        pool = [0.0] * spec.capacity
-                        channels[key] = pool
+                        pool = [0.0] * capacity_col[li]
+                        channels[li] = pool
                     # Fast path for the common capacity-1 link: no argmin
                     # scan over channels, the single slot is the channel.
                     if len(pool) == 1:
@@ -244,7 +281,7 @@ class NetworkSimulator:
                     else:
                         ch = min(range(len(pool)), key=pool.__getitem__)
                         avail = pool[ch]
-                    ser = wire / spec.bandwidth
+                    ser = wire / bandwidth_col[li]
                     grant = head if head >= avail else avail
                     pool[ch] = grant + ser
                     link_busy[key] = busy_get(key, 0.0) + ser
@@ -252,7 +289,7 @@ class NetworkSimulator:
                         recorder.hop(idx, key, ch, head, grant, ser)
                     if inject is None:
                         inject = grant
-                    latency = spec.latency
+                    latency = latency_col[li]
                     head = grant + latency
                     lat_sum += latency
                     if ser > max_ser:

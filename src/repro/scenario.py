@@ -72,12 +72,17 @@ FINGERPRINT_SCHEMA_VERSION = 3
 #: predictions).  Bump when the compiled layout changes meaning.
 ARTIFACT_SCHEMA_VERSION = 1
 
-ENGINES = ("event", "lockstep")
+#: Known simulation engines, in fallback-ladder order (most specialized
+#: last).  The engine is part of every prediction-cache ``point_key``, so
+#: adding a value here mints new cache keys without invalidating existing
+#: ones — no ``FINGERPRINT_SCHEMA_VERSION`` bump needed.
+ENGINES = ("event", "lockstep", "lockstep-vec")
 
 #: One-line grammar reminder for CLI help output.
 SCENARIO_HELP = (
     "TOPOLOGY/ALGORITHM/SIZE[@MOD,...] — mods: packet|message, free, "
-    "event|lockstep, KEY=VALUE (e.g. torus-4x4/multitree-msg/16MiB@lockstep)"
+    "event|lockstep|lockstep-vec, KEY=VALUE "
+    "(e.g. torus-4x4/multitree-msg/16MiB@lockstep)"
 )
 
 Overrides = Tuple[Tuple[str, object], ...]
@@ -132,7 +137,12 @@ def parse_sizes(text: str) -> Tuple[int, ...]:
             if sizes[-1] != hi:
                 sizes.append(hi)
         else:
-            sizes.append(parse_size(item))
+            size = parse_size(item)
+            if size <= 0:
+                raise ValueError(
+                    "bad size %r (payload sizes must be positive)" % item
+                )
+            sizes.append(size)
     if not sizes:
         raise ValueError("empty size list %r" % text)
     return tuple(dict.fromkeys(sizes))

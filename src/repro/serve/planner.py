@@ -107,9 +107,11 @@ class WorkloadSpec:
     planner's default search breadth.  ``flow_control``/``overrides``
     constrain every candidate; variants whose registry pairing
     contradicts the requested flow control are skipped (recorded, not
-    errored).  The engine defaults to the lockstep fast path — plans are
-    interactive queries and lockstep is bit-identical to the event
-    engine.
+    errored).  The engine defaults to the vectorized lockstep fast
+    path — plans are interactive queries, ``lockstep-vec`` evaluates each
+    candidate's whole size bucket in one batched pass, and results stay
+    bit-identical to the event engine (per-size scalar fallback when the
+    vectorized engine declines).
     """
 
     topology: str                       # combined spec, e.g. "torus-8x8"
@@ -117,7 +119,7 @@ class WorkloadSpec:
     algorithms: Tuple[str, ...] = ()
     flow_control: Optional[str] = None
     lockstep: bool = True
-    engine: str = "lockstep"
+    engine: str = "lockstep-vec"
     overrides: Overrides = ()
 
     def __post_init__(self) -> None:
@@ -174,7 +176,7 @@ class WorkloadSpec:
             algorithms=algorithms,
             flow_control=params.get("flow_control") or None,
             lockstep=lockstep_text not in ("0", "false", "no"),
-            engine=params.get("engine", "lockstep"),
+            engine=params.get("engine", "lockstep-vec"),
         )
 
     def candidate_algorithms(self) -> Tuple[str, ...]:

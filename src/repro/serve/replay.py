@@ -221,7 +221,7 @@ def workload_trace(
     topology: str,
     sizes: Sequence[int],
     algorithms: Sequence[str],
-    engine: str = "lockstep",
+    engine: str = "lockstep-vec",
     flow_control: Optional[str] = None,
 ) -> List[Scenario]:
     """The canonical query list for a workload: one scenario per

@@ -44,12 +44,23 @@ def artifact_key(topology: Topology, algorithm: str) -> str:
 
 
 class ArtifactStore:
-    """Directory of compiled schedules with hit/miss accounting."""
+    """Directory of compiled schedules with hit/miss accounting.
+
+    Successfully loaded artifacts are additionally memoized in-process
+    (keyed by the same artifact fingerprint), so jobs that share a
+    schedule fingerprint within one process — a multi-size planner
+    bucket, a serial sweep — share one :class:`CompiledSchedule` instance
+    and therefore its memoized derived state (step groups, dependency
+    CSR, vectorization plan) instead of re-parsing the JSON per job.
+    ``put`` never populates the memo: the store stays a cache over the
+    on-disk truth, and a corrupted file must read as a miss.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self._memo: dict = {}
 
     def _path(self, key: str) -> str:
         digest = hashlib.sha256(key.encode()).hexdigest()[:24]
@@ -64,6 +75,16 @@ class ArtifactStore:
         misses — the store is a cache, never a source of truth.
         """
         key = artifact_key(topology, algorithm)
+        memoized = self._memo.get(key)
+        if memoized is not None and memoized.topology is topology:
+            self.hits += 1
+            registry = get_registry()
+            if registry is not None:
+                registry.counter(
+                    "artifact.hits", topology=topology.name,
+                    algorithm=algorithm,
+                ).inc()
+            return memoized
         try:
             with open(self._path(key)) as fh:
                 payload = json.load(fh)
@@ -91,6 +112,7 @@ class ArtifactStore:
             registry.counter(
                 "artifact.hits", topology=topology.name, algorithm=algorithm
             ).inc()
+        self._memo[key] = compiled
         return compiled
 
     def put(self, compiled: CompiledSchedule) -> str:

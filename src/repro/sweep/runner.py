@@ -218,11 +218,62 @@ def sweep_bandwidth_cached(
 
     ``keys``, when given, supplies one precomputed scenario cache key per
     size (aligned with ``sizes``).
+
+    With ``engine="lockstep-vec"`` and a compiled schedule, every cold
+    size of the series is evaluated in **one** batched vectorized pass
+    (:meth:`repro.collectives.compiled.CompiledSchedule.simulate_batch`)
+    and the cache is filled for the whole batch from that single
+    simulation; warm sizes are still served from the cache, and sizes
+    the vectorized engine declines are simulated by the scalar ladder
+    inside the batch (counted in ``sim.lockstep_vec_fallbacks``) — the
+    cached numbers are bit-identical either way.
     """
     sweep = BandwidthSweep(
         topology=schedule.topology.name,
         algorithm=label or schedule.algorithm,
     )
+    simulate_batch = getattr(schedule, "simulate_batch", None)
+    if engine == "lockstep-vec" and simulate_batch is not None:
+        if cache is not None and keys is None:
+            keys = [
+                prediction_key(
+                    schedule.topology, schedule.algorithm, flow_control,
+                    size, lockstep, engine,
+                )
+                for size in sizes
+            ]
+        entries: List[Optional[Dict[str, float]]] = [None] * len(sizes)
+        cold: List[int] = []
+        for index in range(len(sizes)):
+            entry = cache.get(keys[index]) if cache is not None else None
+            if entry is None:
+                cold.append(index)
+            else:
+                entries[index] = entry
+        if cold:
+            batch = simulate_batch(
+                [sizes[index] for index in cold], flow_control, lockstep
+            )
+            for index, point in zip(cold, batch.points):
+                entry = {
+                    "time": point.time,
+                    "bandwidth": point.bandwidth,
+                    "max_queue_delay": point.max_queue_delay,
+                }
+                entries[index] = entry
+                if cache is not None:
+                    cache.put(keys[index], **entry)
+        for size, entry in zip(sizes, entries):
+            sweep.points.append(
+                SweepPoint(
+                    algorithm=sweep.algorithm,
+                    data_bytes=size,
+                    time=entry["time"],
+                    bandwidth=entry["bandwidth"],
+                    max_queue_delay=entry["max_queue_delay"],
+                )
+            )
+        return sweep
     for index, size in enumerate(sizes):
         entry = predict_cached(
             schedule, size, flow_control, lockstep, cache, engine,
@@ -306,6 +357,13 @@ def run_job(
             schedule = artifacts.get_or_compile(topology, algorithm)
         else:
             schedule = build_schedule(algorithm, topology)
+            if job.engine == "lockstep-vec":
+                # The batched fast path consumes the compiled CSR form;
+                # compiling in-memory is cheap next to simulation and
+                # bit-identical (tests/test_artifacts.py pins that).
+                from ..collectives.compiled import compile_schedule
+
+                schedule = compile_schedule(schedule)
         sweep = sweep_bandwidth_cached(
             schedule, job.sizes, fc, job.lockstep, cache, label, job.engine,
             keys=keys,

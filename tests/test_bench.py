@@ -15,7 +15,7 @@ from repro.bench import (
     load_report,
     write_report,
 )
-from repro.bench.harness import FIG9_SIZES, format_report
+from repro.bench.harness import FIG9_SIZES, bench_batch, format_report
 
 KiB = 1024
 
@@ -53,6 +53,17 @@ class TestBenchmarks:
         text = format_report(_tiny_report())
         for name in ("construction", "simulate", "end_to_end"):
             assert name in text
+
+    def test_bench_batch_cross_checks_and_records_engine(self):
+        # The batch benchmark enforces zero fallbacks and exact equality
+        # against the scalar engine before timing anything.
+        result = bench_batch((4, 4), algorithms=("ring",), num_sizes=3)
+        assert result.name == "batch"
+        assert result.meta["engine"] == "lockstep-vec"
+        assert result.meta["reference_engine"] == "lockstep"
+        assert result.meta["fallbacks"] == 0
+        assert len(result.meta["sizes"]) == 3
+        assert result.optimized_s > 0 and result.reference_s > 0
 
 
 class TestReportIO:

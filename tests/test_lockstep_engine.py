@@ -48,17 +48,19 @@ class TestEquivalenceBattery:
 
     @pytest.mark.parametrize("make_topo", TOPOLOGIES)
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
-    def test_exact_equality(self, make_topo, algorithm):
+    @pytest.mark.parametrize("engine", ["lockstep", "lockstep-vec"])
+    def test_exact_equality(self, make_topo, algorithm, engine):
         topo = make_topo()
         schedule = build_schedule(algorithm, topo)
         for size in SIZES:
             event = simulate_allreduce(schedule, size)
-            lockstep = simulate_allreduce(schedule, size, engine="lockstep")
-            assert_identical(event.simulation, lockstep.simulation)
+            stepped = simulate_allreduce(schedule, size, engine=engine)
+            assert_identical(event.simulation, stepped.simulation)
 
     @pytest.mark.parametrize("make_topo", TOPOLOGIES)
     def test_compiled_exact_equality(self, make_topo):
-        """The compiled fast path is bit-identical too (both its tiers)."""
+        """The compiled fast path is bit-identical too (all its tiers,
+        including the batched vectorized engine)."""
         topo = make_topo()
         for algorithm in ALGORITHMS:
             compiled = compile_schedule(build_schedule(algorithm, topo))
@@ -67,6 +69,8 @@ class TestEquivalenceBattery:
                 event = simulate_allreduce(schedule, size)
                 fast = compiled.simulate(size)
                 assert_identical(event.simulation, fast.simulation)
+                vec = compiled.simulate(size, engine="lockstep-vec")
+                assert_identical(event.simulation, vec.simulation)
 
     def test_grouped_fast_path_engages(self):
         """At serialization-dominated sizes the step-level path itself

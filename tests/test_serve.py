@@ -79,7 +79,13 @@ class TestWorkloadSpec:
                 "engine": "lockstep",
             }
         )
-        assert spec == small_spec()
+        assert spec == small_spec(engine="lockstep")
+
+    def test_engine_defaults_to_batched_vectorized(self):
+        spec = WorkloadSpec.from_query(
+            {"topology": TOPOLOGY, "sizes": "32K,128K"}
+        )
+        assert spec.engine == "lockstep-vec"
 
     def test_from_query_range_grammar_matches_cli(self):
         spec = WorkloadSpec.from_query(
