@@ -16,6 +16,10 @@ Commands
 ``train``    one training iteration for a DNN workload (Fig. 11 rows)
 ``trace``    simulate one all-reduce with full event tracing and diagnosis
 ``scenario`` inspect experiment descriptors: canonical form + fingerprint
+``status``   live text view of a run's flushed obs span stream
+``obs``      span-stream tools: explain (per-request waterfall + fallback
+             reasons), export (Perfetto), validate (schema), overhead
+             (obs-on vs obs-off gate)
 ``table1``   the measured Table I
 ``list``     available topologies, algorithm variants and DNN models
 
@@ -35,6 +39,9 @@ Prometheus text exposition (anything else); ``--manifest PATH`` appends a
 self-describing JSON-lines run manifest (config fingerprint, version, git
 SHA, wall time, metric snapshot) that ``repro report`` can diff across
 runs.  Either flag turns metric collection on; it is off by default.
+``--obs PATH`` additionally streams correlated spans + structured logs
+(one JSONL record per closed span) to PATH — ``repro status`` tails it
+live and ``repro obs explain`` renders the span trees after.
 """
 
 from __future__ import annotations
@@ -436,6 +443,91 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .obs import load_stream
+    from .obs.status import format_status
+
+    def render() -> str:
+        try:
+            records = load_stream(args.stream)
+        except OSError as error:
+            raise SystemExit(str(error))
+        return format_status(records, path=args.stream)
+
+    if not args.follow:
+        print(render())
+        return 0
+    try:
+        while True:
+            print("\033[2J\033[H" + render(), flush=True)
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import load_stream, validate_stream
+
+    if args.obs_command == "explain":
+        from .obs.explain import format_explain
+
+        try:
+            records = load_stream(args.stream)
+        except OSError as error:
+            raise SystemExit(str(error))
+        print(format_explain(records, trace=args.trace, limit=args.limit))
+        return 0
+    if args.obs_command == "export":
+        from .obs.export import write_chrome_spans
+
+        try:
+            records = load_stream(args.stream)
+        except OSError as error:
+            raise SystemExit(str(error))
+        output = args.output or args.stream + ".perfetto.json"
+        write_chrome_spans(records, output)
+        print(
+            "wrote %s (%d records) — open it at https://ui.perfetto.dev"
+            % (output, len(records))
+        )
+        return 0
+    if args.obs_command == "validate":
+        failed = False
+        for stream in args.streams:
+            try:
+                count, errors = validate_stream(stream)
+            except OSError as error:
+                raise SystemExit(str(error))
+            if errors:
+                failed = True
+                print("%s: %d records, %d invalid" % (stream, count, len(errors)))
+                for message in errors[:10]:
+                    print("  %s" % message)
+            else:
+                print("%s: %d records, all valid" % (stream, count))
+        return 1 if failed else 0
+    if args.obs_command == "overhead":
+        from .obs.overhead import format_overhead, measure_overhead
+
+        result = measure_overhead(repeat=args.repeat)
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(format_overhead(result))
+        if float(result["overhead"]) > args.max_overhead:
+            print(
+                "FAIL: obs overhead %.2f%% above allowed %.2f%%"
+                % (
+                    100.0 * float(result["overhead"]),
+                    100.0 * args.max_overhead,
+                ),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    raise SystemExit("unknown obs subcommand %r" % (args.obs_command,))
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     print(format_table1(measure_table1()))
     return 0
@@ -499,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", default=None, metavar="PATH",
         help="collect telemetry and append a JSON-lines run manifest "
              "(config fingerprint, version, git SHA, metric snapshot)",
+    )
+    parser.add_argument(
+        "--obs", default=None, metavar="PATH",
+        help="stream correlated spans + structured logs (JSONL, one record "
+             "per closed span) here; inspect with `repro status` and "
+             "`repro obs explain`",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -757,6 +855,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_scenario)
 
+    p = sub.add_parser(
+        "status",
+        help="live text view of a flushed obs span stream (--obs PATH)",
+    )
+    p.add_argument("stream", help="obs JSONL stream written by --obs")
+    p.add_argument(
+        "--follow", action="store_true",
+        help="re-read and re-render on an interval (watch a live run)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period with --follow (default 2.0)",
+    )
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
+        "obs",
+        help="span-stream tools: explain / export / validate / overhead",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    q = obs_sub.add_parser(
+        "explain",
+        help="per-trace span waterfalls with engine fallback reasons",
+    )
+    q.add_argument("stream", help="obs JSONL stream written by --obs")
+    q.add_argument(
+        "--trace", default=None, metavar="ID",
+        help="render only this trace id",
+    )
+    q.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="render at most N traces (default: all)",
+    )
+    q.set_defaults(func=_cmd_obs)
+    q = obs_sub.add_parser(
+        "export", help="export the span stream as Perfetto-loadable JSON"
+    )
+    q.add_argument("stream", help="obs JSONL stream written by --obs")
+    q.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="output path (default STREAM.perfetto.json)",
+    )
+    q.set_defaults(func=_cmd_obs)
+    q = obs_sub.add_parser(
+        "validate",
+        help="validate span streams against the obs record schema",
+    )
+    q.add_argument("streams", nargs="+", help="obs JSONL streams to check")
+    q.set_defaults(func=_cmd_obs)
+    q = obs_sub.add_parser(
+        "overhead",
+        help="measure obs-on vs obs-off wall time on the quick workload",
+    )
+    q.add_argument(
+        "--repeat", type=int, default=5, help="off/on pairs (default 5)"
+    )
+    q.add_argument(
+        "--max-overhead", type=float, default=0.03, metavar="FRACTION",
+        help="exit non-zero above this fractional overhead (default 0.03)",
+    )
+    q.add_argument("--json", action="store_true", help="JSON output")
+    q.set_defaults(func=_cmd_obs)
+
     p = sub.add_parser("table1", help="measured Table I")
     p.set_defaults(func=_cmd_table1)
 
@@ -767,7 +928,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _manifest_labels(args: argparse.Namespace) -> dict:
     """Topology/algorithm/size-style labels harvested from the parsed args."""
-    skip = {"func", "command", "metrics_out", "manifest", "files"}
+    skip = {"func", "command", "metrics_out", "manifest", "obs", "files"}
     labels = {}
     for key, value in sorted(vars(args).items()):
         if key in skip or key.startswith("_") or value is None or callable(value):
@@ -780,11 +941,21 @@ def _manifest_labels(args: argparse.Namespace) -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if not args.metrics_out and not args.manifest:
+    if not args.metrics_out and not args.manifest and not args.obs:
         return args.func(args)
-    registry = MetricsRegistry()
+    from contextlib import ExitStack
+
+    from . import obs as _obs
+
+    registry = None
     start = time.perf_counter()
-    with collecting(registry):
+    with ExitStack() as stack:
+        if args.metrics_out or args.manifest:
+            registry = MetricsRegistry()
+            stack.enter_context(collecting(registry))
+        if args.obs:
+            stack.enter_context(_obs.observing(stream_path=args.obs))
+            stack.enter_context(_obs.span("cli", command=args.command))
         rc = args.func(args)
     wall = time.perf_counter() - start
     if args.metrics_out:
@@ -798,9 +969,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             wall_time_s=wall,
             registry=registry,
             scenarios=getattr(args, "_scenarios", None),
+            obs_stream=args.obs,
         )
         append_manifest(args.manifest, record)
         print("appended run %s to %s" % (record["run_id"], args.manifest))
+    if args.obs:
+        print("wrote obs span stream to %s" % args.obs)
     return rc
 
 

@@ -82,6 +82,7 @@ def build_manifest(
     registry: Optional[MetricsRegistry] = None,
     run_id: Optional[str] = None,
     scenarios: Optional[Sequence] = None,
+    obs_stream: Optional[str] = None,
 ) -> Dict[str, object]:
     """Assemble one manifest record (plain dict, JSON-serializable).
 
@@ -126,6 +127,11 @@ def build_manifest(
         "wall_time_s": wall_time_s,
         "metrics": registry.snapshot() if registry is not None else None,
     }
+    if obs_stream is not None:
+        # Optional pointer from the run record to its flushed span stream
+        # (`--obs PATH`), so `repro obs explain` finds the trace that
+        # produced these numbers.  Additive: absent unless obs was on.
+        record["obs_stream"] = os.path.abspath(obs_stream)
     return record
 
 

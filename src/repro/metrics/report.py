@@ -125,6 +125,53 @@ def bandwidth_series(record: Dict[str, object]) -> Dict[SeriesKey, float]:
     return series
 
 
+def engine_mix(
+    record: Dict[str, object],
+) -> Tuple[Dict[Tuple[str, str], float], Dict[Tuple[str, str, str], float]]:
+    """The engine run/fallback counters of one manifest record.
+
+    Returns ``(runs, fallbacks)``: runs keyed by ``(engine, topology)``
+    from ``sim.engine_runs``, fallbacks keyed by ``(engine, reason,
+    topology)`` from the reasoned ``sim.fallbacks`` counter, with the
+    legacy unreasoned ``sim.lockstep[_vec]_fallbacks`` counters folded in
+    under reason ``"(unreasoned)"`` for records predating the reasoned
+    counter.
+    """
+    runs: Dict[Tuple[str, str], float] = {}
+    fallbacks: Dict[Tuple[str, str, str], float] = {}
+    has_reasoned = False
+    metrics = record.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    for key, value in counters.items():
+        name, labels = parse_key(key)
+        if name == "sim.engine_runs":
+            mix_key = (
+                labels.get("engine", "?"), labels.get("topology", "?")
+            )
+            runs[mix_key] = runs.get(mix_key, 0.0) + float(value)
+        elif name == "sim.fallbacks":
+            has_reasoned = True
+            fb_key = (
+                labels.get("engine", "?"),
+                labels.get("reason", "?"),
+                labels.get("topology", "?"),
+            )
+            fallbacks[fb_key] = fallbacks.get(fb_key, 0.0) + float(value)
+    if not has_reasoned:
+        legacy = {
+            "sim.lockstep_vec_fallbacks": "lockstep-vec",
+            "sim.lockstep_fallbacks": "lockstep",
+        }
+        for key, value in counters.items():
+            name, labels = parse_key(key)
+            engine = legacy.get(name)
+            if engine is None:
+                continue
+            fb_key = (engine, "(unreasoned)", labels.get("topology", "?"))
+            fallbacks[fb_key] = fallbacks.get(fb_key, 0.0) + float(value)
+    return runs, fallbacks
+
+
 def bench_speedups(record: Dict[str, object]) -> Dict[str, float]:
     """The ``bench.speedup`` gauges of one manifest record."""
     out: Dict[str, float] = {}
@@ -298,6 +345,33 @@ def build_report(
                 rows.append(cells)
             lines.extend(_md_table(["topology"] + algorithms, rows))
             lines.append("")
+
+    # -- engine mix: which rung resolved runs, and why declines fell -------
+    if current_record is not None:
+        mix_runs, mix_fallbacks = engine_mix(current_record)
+        if mix_runs or mix_fallbacks:
+            lines.append("## Engine mix (latest run)")
+            lines.append("")
+            if mix_runs:
+                rows = [
+                    [engine, topology, "%d" % count]
+                    for (engine, topology), count in sorted(mix_runs.items())
+                ]
+                lines.extend(_md_table(["engine", "topology", "runs"], rows))
+                lines.append("")
+            if mix_fallbacks:
+                rows = [
+                    [engine, reason, topology, "%d" % count]
+                    for (engine, reason, topology), count in sorted(
+                        mix_fallbacks.items(), key=lambda kv: (-kv[1], kv[0])
+                    )
+                ]
+                lines.append("fallbacks by validation gate:")
+                lines.append("")
+                lines.extend(_md_table(
+                    ["engine", "reason", "topology", "count"], rows
+                ))
+                lines.append("")
 
     # -- bench speedups ----------------------------------------------------
     bench_rows: List[List[str]] = []

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..topology.base import Topology
 from .flowcontrol import FlowControl
 from .links import LinkTable, link_table
@@ -490,9 +491,12 @@ def run_lockstep(
         return SimulationResult(
             finish_time=0.0, timings=[], link_busy={}, total_wire_bytes=0.0
         )
+    topo = getattr(topology, "name", None)
     gates = sorted({msg.not_before for msg in messages})
     if len(gates) <= 1 and any(msg.deps for msg in messages):
-        return None  # ungated with dependencies: nothing step-level here
+        # Ungated with dependencies: nothing step-level here.
+        obs.record_fallback("lockstep", "not-lockstep-gated", topology=topo)
+        return None
     group_index = {gate: g for g, gate in enumerate(gates)}
     group_of = [group_index[msg.not_before] for msg in messages]
     groups: List[List[int]] = [[] for _ in gates]
@@ -500,7 +504,11 @@ def run_lockstep(
         g = group_of[idx]
         for dep in msg.deps:
             if group_of[dep] >= g:
-                return None  # intra-group dependency: not lockstep-gated
+                # Intra-group dependency: not lockstep-gated.
+                obs.record_fallback(
+                    "lockstep", "not-lockstep-gated", topology=topo
+                )
+                return None
         groups[g].append(idx)
 
     table = link_table(topology)
@@ -513,7 +521,9 @@ def run_lockstep(
                 route_val.append(id_of[key])
             route_off.append(len(route_val))
     except KeyError:
-        return None  # route uses a link the topology does not declare
+        # Route uses a link the topology does not declare.
+        obs.record_fallback("lockstep", "unknown-link", topology=topo)
+        return None
     dep_off, dep_val = flatten_lists([msg.deps for msg in messages])
     raw = run_grouped(
         table,
@@ -529,5 +539,8 @@ def run_lockstep(
         messages=messages,
     )
     if raw is None:
+        # run_grouped declined: a step overlapped the previous group's
+        # injection window, so step-level processing is not exact.
+        obs.record_fallback("lockstep", "step-overlap", topology=topo)
         return None
     return _result_from_arrays(table, raw)

@@ -50,6 +50,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..metrics.registry import get_registry
 from .links import LinkTable, link_table
 from .lockstep_engine import LazyTimings, dep_structure, flatten_lists
@@ -101,7 +102,8 @@ class VecPlan:
     decline the whole run.
     """
 
-    __slots__ = ("ok", "steps", "num_messages", "num_links", "route_len")
+    __slots__ = ("ok", "reason", "steps", "num_messages", "num_links",
+                 "route_len")
 
     def __init__(
         self,
@@ -118,6 +120,9 @@ class VecPlan:
         self.route_len = route_off[1:] - route_off[:-1]
         self.steps: List[_StepPlan] = []
         self.ok = True
+        #: The validation gate that failed when ``ok`` is False — the
+        #: structured fallback reason reported instead of a bare count.
+        self.reason: Optional[str] = None
         for group in groups:
             if not len(group):
                 continue
@@ -138,9 +143,11 @@ class VecPlan:
                 cat = np.concatenate([li for _sel, li in hops])
                 if len(np.unique(cat)) != seen:
                     self.ok = False
+                    self.reason = "link-disjointness"
                     return
                 if (capacity[cat] != 1).any():
                     self.ok = False  # argmin channel pools: scalar only
+                    self.reason = "multi-channel"
                     return
             dep_src_pos, dep_dst = _gather_segments(dd_off, dd_val, idx)
             self.steps.append(_StepPlan(idx, hops, dep_src_pos, dep_dst))
@@ -326,15 +333,20 @@ def _column_result(
 class BatchPoint:
     """One size's outcome of a batched evaluation."""
 
-    __slots__ = ("data_bytes", "time", "bandwidth", "max_queue_delay", "engine")
+    __slots__ = ("data_bytes", "time", "bandwidth", "max_queue_delay",
+                 "engine", "reason")
 
-    def __init__(self, data_bytes, time, bandwidth, max_queue_delay, engine):
+    def __init__(self, data_bytes, time, bandwidth, max_queue_delay, engine,
+                 reason=None):
         self.data_bytes = data_bytes
         self.time = time
         self.bandwidth = bandwidth
         self.max_queue_delay = max_queue_delay
         #: ``"lockstep-vec"`` or the scalar engine this size fell back to.
         self.engine = engine
+        #: The validation gate that declined this size (``None`` when the
+        #: vectorized engine produced the point).
+        self.reason = reason
 
 
 class BatchResult:
@@ -374,6 +386,28 @@ def run_batch(
     metric, and every returned number is bit-identical to a scalar
     ``simulate(size, engine="lockstep")`` call either way.
     """
+    with obs.span(
+        "sim.batch",
+        topology=compiled.topology.name,
+        algorithm=getattr(compiled, "algorithm", None),
+        sizes=len(tuple(sizes)),
+    ) as sim_span:
+        result = _run_batch(
+            compiled, sizes, flow_control, lockstep, scheduling_overhead,
+            keep_timings,
+        )
+        sim_span.set("fallbacks", result.fallbacks)
+        return result
+
+
+def _run_batch(
+    compiled,
+    sizes: Sequence[int],
+    flow_control,
+    lockstep: bool,
+    scheduling_overhead: float,
+    keep_timings: bool,
+) -> BatchResult:
     from ..network.flowcontrol import DEFAULT_FLOW_CONTROL
 
     if flow_control is None:
@@ -389,8 +423,20 @@ def run_batch(
         plan = _compiled_plan(compiled)
     num_sizes = len(sizes)
     valid = np.zeros(num_sizes, dtype=bool)
+    gate_valid = exact_mask = None
     finish = busy = qmax = totals = ready = timings = None
     table = link_table(compiled.topology)
+
+    # Why every size (or some sizes) left the vectorized engine: a
+    # whole-batch decline reason, or per-size gate/wire masks below.
+    if not lockstep:
+        decline_reason: Optional[str] = "not-lockstep-gated"
+    elif plan is None:
+        decline_reason = "unknown-link"
+    elif not plan.ok:
+        decline_reason = plan.reason or "plan"
+    else:
+        decline_reason = None
 
     if plan is not None and plan.ok:
         frac_uniq, frac_idx = _compiled_wire_classes(compiled)
@@ -415,12 +461,15 @@ def run_batch(
             plan, table, wire, frac_idx, ready, overhead,
             keep_timings=keep_timings,
         )
-        valid &= exact
+        gate_valid = valid.copy()
+        exact_mask = exact
+        valid = valid & exact
 
     points: List[Optional[BatchPoint]] = []
     results: List[object] = []
     fallbacks = 0
     registry = get_registry()
+    topo = compiled.topology.name
     for j, size in enumerate(sizes):
         if valid[j]:
             time = finish[j].item()
@@ -443,6 +492,17 @@ def run_batch(
                 ))
         else:
             fallbacks += 1
+            if decline_reason is not None:
+                reason = decline_reason
+            elif gate_valid is not None and not gate_valid[j]:
+                reason = "gate-boundary"
+            elif exact_mask is not None and not exact_mask[j]:
+                reason = "wire-total"
+            else:
+                reason = "plan"
+            obs.record_fallback(
+                "lockstep-vec", reason, topology=topo, size=size
+            )
             outcome = compiled.simulate(
                 size, flow_control, lockstep, scheduling_overhead,
                 engine="lockstep",
@@ -453,13 +513,13 @@ def run_batch(
                 bandwidth=outcome.bandwidth,
                 max_queue_delay=outcome.max_queue_delay(),
                 engine="lockstep",
+                reason=reason,
             )
             if keep_timings:
                 results.append(outcome)
         points.append(point)
 
     if registry is not None:
-        topo = compiled.topology.name
         ran = num_sizes - fallbacks
         if ran:
             registry.counter(
@@ -527,7 +587,9 @@ def run_lockstep_vec(
     trace callbacks are inherently per-message, and the scalar ladder
     records identically.
     """
+    topo = getattr(topology, "name", None)
     if recorder is not None:
+        obs.record_fallback("lockstep-vec", "recorder", topology=topo)
         return None
     if not messages:
         return SimulationResult(
@@ -535,7 +597,11 @@ def run_lockstep_vec(
         )
     gates = sorted({msg.not_before for msg in messages})
     if len(gates) <= 1 and any(msg.deps for msg in messages):
-        return None  # ungated with dependencies: nothing step-level here
+        # Ungated with dependencies: nothing step-level here.
+        obs.record_fallback(
+            "lockstep-vec", "not-lockstep-gated", topology=topo
+        )
+        return None
     group_index = {gate: g for g, gate in enumerate(gates)}
     group_of = [group_index[msg.not_before] for msg in messages]
     groups: List[List[int]] = [[] for _ in gates]
@@ -543,7 +609,11 @@ def run_lockstep_vec(
         g = group_of[idx]
         for dep in msg.deps:
             if group_of[dep] >= g:
-                return None  # intra-group dependency: not lockstep-gated
+                # Intra-group dependency: not lockstep-gated.
+                obs.record_fallback(
+                    "lockstep-vec", "not-lockstep-gated", topology=topo
+                )
+                return None
         groups[g].append(idx)
 
     table = link_table(topology)
@@ -556,11 +626,16 @@ def run_lockstep_vec(
                 route_val.append(id_of[key])
             route_off.append(len(route_val))
     except KeyError:
-        return None  # route uses a link the topology does not declare
+        # Route uses a link the topology does not declare.
+        obs.record_fallback("lockstep-vec", "unknown-link", topology=topo)
+        return None
     dep_off, dep_val = flatten_lists([msg.deps for msg in messages])
     dep_struct = dep_structure(dep_off, dep_val)
     plan = build_plan(groups, route_off, route_val, dep_struct, table)
     if not plan.ok:
+        obs.record_fallback(
+            "lockstep-vec", plan.reason or "plan", topology=topo
+        )
         return None
 
     payloads = np.asarray(
@@ -573,6 +648,7 @@ def run_lockstep_vec(
     )
     totals, exact = exact_wire_totals(wire, exact, hops_per_class)
     if not exact[0]:
+        obs.record_fallback("lockstep-vec", "wire-total", topology=topo)
         return None
     ready = np.asarray(
         [msg.not_before for msg in messages], dtype=np.float64
@@ -585,5 +661,6 @@ def run_lockstep_vec(
         keep_timings=True,
     )
     if not valid[0]:
+        obs.record_fallback("lockstep-vec", "gate-boundary", topology=topo)
         return None
     return _column_result(table, ready, timings, finish, busy, totals, 0)

@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..metrics.registry import get_registry
 from ..topology.base import LinkKey, Topology
 from .flowcontrol import DEFAULT_FLOW_CONTROL, FlowControl
@@ -154,12 +155,34 @@ class NetworkSimulator:
                 "unknown engine %r (choose: event, lockstep, lockstep-vec)"
                 % (engine,)
             )
+        with obs.span(
+            "sim.run",
+            topology=self.topology.name,
+            engine=engine,
+            messages=len(messages),
+        ) as run_span:
+            result, resolved = self._run_ladder(messages, recorder, engine)
+            run_span.set("resolved", resolved)
+            run_span.set("finish_time", result.finish_time)
+            return result
+
+    def _run_ladder(
+        self,
+        messages: List[Message],
+        recorder: Optional["TraceRecorder"],
+        engine: str,
+    ) -> Tuple[SimulationResult, str]:
+        """Walk the engine fallback ladder; returns (result, engine used)."""
         if engine == "lockstep-vec":
             from .lockstep_vec import run_lockstep_vec
 
-            result = run_lockstep_vec(
-                self.topology, self.flow_control, messages, recorder
-            )
+            with obs.span(
+                "engine.lockstep-vec", topology=self.topology.name
+            ) as rung:
+                result = run_lockstep_vec(
+                    self.topology, self.flow_control, messages, recorder
+                )
+                rung.set("accepted", result is not None)
             registry = get_registry()
             if result is not None:
                 if registry is not None:
@@ -169,7 +192,7 @@ class NetworkSimulator:
                         topology=self.topology.name,
                     ).inc()
                     self._record_metrics(registry, messages, result)
-                return result
+                return result, "lockstep-vec"
             if registry is not None:
                 registry.counter(
                     "sim.lockstep_vec_fallbacks", topology=self.topology.name
@@ -178,9 +201,13 @@ class NetworkSimulator:
         if engine == "lockstep":
             from .lockstep_engine import run_lockstep
 
-            result = run_lockstep(
-                self.topology, self.flow_control, messages, recorder
-            )
+            with obs.span(
+                "engine.lockstep", topology=self.topology.name
+            ) as rung:
+                result = run_lockstep(
+                    self.topology, self.flow_control, messages, recorder
+                )
+                rung.set("accepted", result is not None)
             registry = get_registry()
             if result is not None:
                 if registry is not None:
@@ -190,11 +217,20 @@ class NetworkSimulator:
                         topology=self.topology.name,
                     ).inc()
                     self._record_metrics(registry, messages, result)
-                return result
+                return result, "lockstep"
             if registry is not None:
                 registry.counter(
                     "sim.lockstep_fallbacks", topology=self.topology.name
                 ).inc()
+        with obs.span("engine.event", topology=self.topology.name):
+            return self._run_event(messages, recorder), "event"
+
+    def _run_event(
+        self,
+        messages: List[Message],
+        recorder: Optional["TraceRecorder"],
+    ) -> SimulationResult:
+        """The global ready-time heap — the semantic reference engine."""
         topo = self.topology
         fc = self.flow_control
 

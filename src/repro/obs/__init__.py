@@ -1,0 +1,170 @@
+"""End-to-end observability: correlated spans + structured run logs.
+
+Three telemetry layers now coexist, each answering its own question:
+
+* :mod:`repro.trace` — *why was this one simulation slow* (per-event
+  link/message timelines of a single in-process run);
+* :mod:`repro.metrics` — *how do runs compare* (aggregate labeled
+  counters/gauges/histograms, run manifests);
+* this package — *what happened to this unit of work* (one span tree
+  per request/sweep series, correlation ids propagated across the serve
+  worker pool and multiprocessing sweep workers, engine fallbacks as
+  structured reason records instead of bare counters).
+
+Collection is opt-in and ambient, mirroring
+:func:`repro.metrics.registry.collecting`: instrumented sites call
+:func:`span`/:func:`event` which are no-ops until a recorder is
+installed with :func:`observing` (or the CLI-wide ``--obs PATH`` flag)::
+
+    with observing(stream_path="obs.jsonl") as rec:
+        service.predict(scenario, block=True)
+    # obs.jsonl now holds one span tree for the prediction
+
+Instrumented sites record from already-computed values and never alter
+results; ``repro obs overhead`` measures the enable-cost and CI gates it
+below 3% on the quick suite.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .schema import (
+    OBS_RECORD_SCHEMA,
+    OBS_SCHEMA_VERSION,
+    load_stream,
+    validate_record,
+    validate_stream,
+)
+from .spans import (
+    NULL_SPAN,
+    ObsRecorder,
+    Span,
+    attached,
+    current_carrier,
+    new_id,
+)
+
+# -- ambient recorder (the opt-in switch) -----------------------------------
+_ACTIVE: Optional[ObsRecorder] = None
+
+
+def get_obs() -> Optional[ObsRecorder]:
+    """The process-wide active recorder, or ``None`` (collection off)."""
+    return _ACTIVE
+
+
+def set_obs(recorder: Optional[ObsRecorder]) -> Optional[ObsRecorder]:
+    """Install ``recorder`` as the ambient collector; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+@contextmanager
+def observing(
+    recorder: Optional[ObsRecorder] = None,
+    stream_path: Optional[str] = None,
+    capacity: Optional[int] = None,
+) -> Iterator[ObsRecorder]:
+    """Enable span collection for a ``with`` block; yields the recorder.
+
+    A recorder created here (none passed in) is closed on exit — its
+    stream file is complete when the block ends.  A caller-owned
+    recorder is left open.
+    """
+    owned = recorder is None
+    if recorder is None:
+        kwargs = {"stream_path": stream_path}
+        if capacity is not None:
+            kwargs["capacity"] = capacity
+        recorder = ObsRecorder(**kwargs)
+    previous = set_obs(recorder)
+    try:
+        yield recorder
+    finally:
+        set_obs(previous)
+        if owned:
+            recorder.close()
+        else:
+            recorder.flush()
+
+
+@contextmanager
+def span(name: str, **attrs: object):
+    """Ambient span: records under the active recorder, no-op otherwise.
+
+    Always yields a span object (a shared null span when collection is
+    off), so call sites set attributes unconditionally.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        yield NULL_SPAN
+        return
+    with recorder.span(name, **attrs) as opened:
+        yield opened
+
+
+def event(name: str, **fields: object) -> None:
+    """Ambient structured log record; dropped when collection is off."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.event(name, **fields)
+
+
+def record_fallback(
+    engine: str,
+    reason: str,
+    topology: Optional[str] = None,
+    count: int = 1,
+    **fields: object,
+) -> None:
+    """One engine decline, as telemetry on every enabled layer.
+
+    Increments the reasoned ``sim.fallbacks`` counter (labels: engine,
+    reason, topology) in the ambient metrics registry and emits an
+    ``engine.fallback`` obs event whose fields carry the validation gate
+    that failed — so ``repro report`` sees the aggregate mix and
+    ``repro obs explain`` sees which request hit which gate.
+    """
+    from ..metrics.registry import get_registry
+
+    registry = get_registry()
+    if registry is not None:
+        labels: Dict[str, str] = {"engine": engine, "reason": reason}
+        if topology is not None:
+            labels["topology"] = topology
+        registry.counter("sim.fallbacks", **labels).inc(count)
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.event(
+            "engine.fallback",
+            engine=engine,
+            reason=reason,
+            topology=topology,
+            count=count,
+            **fields,
+        )
+
+
+__all__ = [
+    "NULL_SPAN",
+    "OBS_RECORD_SCHEMA",
+    "OBS_SCHEMA_VERSION",
+    "ObsRecorder",
+    "Span",
+    "attached",
+    "current_carrier",
+    "event",
+    "get_obs",
+    "load_stream",
+    "new_id",
+    "observing",
+    "record_fallback",
+    "set_obs",
+    "span",
+    "validate_record",
+    "validate_stream",
+]

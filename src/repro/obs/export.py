@@ -1,0 +1,104 @@
+"""Perfetto export of cross-process obs spans.
+
+Serializes an obs record stream to the Chrome trace-event JSON format
+(loadable at https://ui.perfetto.dev), reusing the metadata helpers of
+:mod:`repro.trace.export`.  Track layout mirrors how the spans were
+produced: one Perfetto process per recording process (the serve parent,
+each sweep worker), one thread track per recording thread — so a
+``--jobs 4`` sweep renders as four worker lanes under the parent, and a
+serve request's handler/worker hand-off is visible as parallel tracks
+sharing one trace id (carried in every slice's args).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from ..trace.export import process_meta, thread_meta
+
+_US = 1e6
+
+
+def to_chrome_spans(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """An obs record stream as a Chrome trace-event ``dict``."""
+    events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[int, str], int] = {}
+
+    def track(record: Dict[str, object]) -> Tuple[int, int]:
+        proc = str(record.get("proc") or "repro")
+        pid = pids.get(proc)
+        if pid is None:
+            pid = pids[proc] = len(pids) + 1
+            events.append(process_meta(pid, proc))
+        thread = str(record.get("thread") or "main")
+        key = (pid, thread)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = sum(1 for p, _t in tids if p == pid) + 1
+            events.append(thread_meta(pid, tid, thread))
+        return pid, tid
+
+    spans = 0
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            pid, tid = track(record)
+            start = float(record.get("start", 0.0))
+            end = float(record.get("end", start))
+            args: Dict[str, object] = {
+                "trace": record.get("trace"),
+                "span": record.get("span"),
+                "parent": record.get("parent"),
+            }
+            attrs = record.get("attrs")
+            if isinstance(attrs, dict):
+                args.update(attrs)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": str(record.get("name")),
+                    "cat": "obs",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": start * _US,
+                    "dur": max(0.0, end - start) * _US,
+                    "args": args,
+                }
+            )
+            spans += 1
+        elif kind == "event":
+            pid, tid = track(record)
+            args = {"trace": record.get("trace"), "span": record.get("span")}
+            fields = record.get("fields")
+            if isinstance(fields, dict):
+                args.update(fields)
+            events.append(
+                {
+                    "ph": "i",
+                    "name": str(record.get("name")),
+                    "cat": "obs",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": float(record.get("time", 0.0)) * _US,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "spans": str(spans),
+            "processes": str(len(pids)),
+        },
+    }
+
+
+def write_chrome_spans(
+    records: Sequence[Dict[str, object]], path: str
+) -> None:
+    """Write the Perfetto-loadable JSON of an obs stream to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_spans(records), handle, indent=1)

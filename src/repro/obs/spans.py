@@ -1,0 +1,270 @@
+"""Span recorder: correlation-id context, ring buffer, JSONL flush.
+
+One :class:`ObsRecorder` per process.  Spans nest through a thread-local
+context stack, so each serve request thread and each sweep worker builds
+its own parent chain without any caller threading ids around; crossing a
+process or thread-pool boundary serializes the current context into a
+tiny *carrier* dict (:func:`current_carrier`) that the far side installs
+with :func:`attached` — the remote span then parent-links to the origin
+and the whole unit of work shares one trace id.
+
+Finished records land in a bounded ring buffer (``deque(maxlen=...)``,
+oldest evicted first) and — when a ``stream_path`` is set — are flushed
+to a JSONL stream in whole-line batches (buffered a short interval, then
+written as complete lines), so a tail, ``repro status`` or a crash
+post-mortem always sees valid JSON lines and a hot loop never pays one
+syscall per span.  Worker processes
+collect in memory only and return :meth:`ObsRecorder.snapshot` to the
+parent, which folds them in with :meth:`ObsRecorder.merge` (re-flushing
+to the parent's stream, parent links intact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from .schema import OBS_SCHEMA_VERSION
+
+#: Default ring-buffer capacity (records kept in memory).
+DEFAULT_CAPACITY = 8192
+
+#: Stream write batching: hold lines at most this long (seconds) and at
+#: most this many before writing them out.  Whole lines only — a reader
+#: mid-run sees fewer records than exist, never a torn one.
+FLUSH_INTERVAL_S = 0.5
+FLUSH_MAX_PENDING = 256
+
+_local = threading.local()
+
+
+def _stack() -> List[Tuple[str, str]]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def new_id() -> str:
+    """A fresh 16-hex correlation id (collision-safe across processes)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_carrier() -> Optional[Dict[str, str]]:
+    """The calling thread's span context as a picklable carrier dict.
+
+    ``None`` when no span is open — the far side then starts fresh
+    traces instead of parent-linking.
+    """
+    stack = getattr(_local, "stack", None)
+    if not stack:
+        return None
+    trace_id, span_id = stack[-1]
+    return {"trace": trace_id, "span": span_id}
+
+
+@contextmanager
+def attached(carrier: Optional[Dict[str, str]]) -> Iterator[None]:
+    """Install a remote span context for a ``with`` block.
+
+    Spans opened inside parent-link to ``carrier["span"]`` and share
+    ``carrier["trace"]``.  A falsy carrier makes this a no-op, so call
+    sites need no branching.
+    """
+    if not carrier:
+        yield
+        return
+    stack = _stack()
+    stack.append((carrier["trace"], carrier["span"]))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+class Span:
+    """One open span; ``set`` adds attributes until the ``with`` exits."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "attrs")
+
+    def __init__(self, name, trace_id, span_id, parent_id, start, attrs):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.attrs = attrs
+
+    def set(self, key: str, value: object) -> None:
+        if value is not None:
+            self.attrs[key] = value
+
+
+class _NullSpan:
+    """What :func:`repro.obs.span` yields when collection is off."""
+
+    __slots__ = ()
+    name = None
+    trace_id = None
+    span_id = None
+    parent_id = None
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class ObsRecorder:
+    """Bounded span/event recorder for one process.
+
+    ``capacity`` bounds the in-memory ring; ``stream_path`` additionally
+    flushes records to a JSONL stream (append mode, whole-line batches —
+    see :data:`FLUSH_INTERVAL_S`).  ``proc`` names this process in
+    records — defaults to ``repro-<pid>`` so merged cross-process
+    streams stay attributable.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        stream_path: Optional[str] = None,
+        proc: Optional[str] = None,
+    ) -> None:
+        self.capacity = max(1, int(capacity))
+        self.records: Deque[Dict[str, object]] = deque(maxlen=self.capacity)
+        self.emitted = 0
+        self.stream_path = stream_path
+        self.proc = proc or ("repro-%d" % os.getpid())
+        self._lock = threading.Lock()
+        self._fh = None
+        self._pending: List[str] = []
+        self._last_write = 0.0
+        if stream_path:
+            directory = os.path.dirname(os.path.abspath(stream_path))
+            os.makedirs(directory, exist_ok=True)
+            self._fh = open(stream_path, "a")
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from the ring (still on the stream, if any)."""
+        return max(0, self.emitted - len(self.records))
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self.records.append(record)
+            self.emitted += 1
+            if self._fh is not None:
+                self._pending.append(json.dumps(record, sort_keys=True) + "\n")
+                now = time.time()
+                if (
+                    now - self._last_write >= FLUSH_INTERVAL_S
+                    or len(self._pending) >= FLUSH_MAX_PENDING
+                ):
+                    self._drain(now)
+
+    def _drain(self, now: float) -> None:
+        """Write pending lines out (caller holds the lock)."""
+        if self._pending and self._fh is not None:
+            self._fh.write("".join(self._pending))
+            self._fh.flush()
+            del self._pending[:]
+        self._last_write = now
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span for a ``with`` block; emits on exit.
+
+        The span nests under the thread's current span (same trace,
+        parent-linked) or starts a fresh trace at the stack bottom.  An
+        escaping exception is recorded as the ``error`` attribute and
+        re-raised — observation never swallows failures.
+        """
+        stack = _stack()
+        if stack:
+            trace_id, parent_id = stack[-1]
+        else:
+            trace_id, parent_id = new_id(), None
+        span_id = new_id()
+        stack.append((trace_id, span_id))
+        span = Span(
+            name, trace_id, span_id, parent_id, time.time(),
+            {k: v for k, v in attrs.items() if v is not None},
+        )
+        try:
+            yield span
+        except BaseException as error:
+            span.attrs.setdefault(
+                "error", "%s: %s" % (type(error).__name__, error)
+            )
+            raise
+        finally:
+            stack.pop()
+            self._emit(
+                {
+                    "kind": "span",
+                    "schema": OBS_SCHEMA_VERSION,
+                    "trace": span.trace_id,
+                    "span": span.span_id,
+                    "parent": span.parent_id,
+                    "name": name,
+                    "start": span.start,
+                    "end": time.time(),
+                    "pid": os.getpid(),
+                    "proc": self.proc,
+                    "thread": threading.current_thread().name,
+                    "attrs": span.attrs,
+                }
+            )
+
+    def event(self, name: str, **fields: object) -> None:
+        """Emit one structured log record under the current span."""
+        stack = getattr(_local, "stack", None)
+        trace_id, span_id = stack[-1] if stack else (None, None)
+        self._emit(
+            {
+                "kind": "event",
+                "schema": OBS_SCHEMA_VERSION,
+                "trace": trace_id,
+                "span": span_id,
+                "name": name,
+                "time": time.time(),
+                "pid": os.getpid(),
+                "proc": self.proc,
+                "thread": threading.current_thread().name,
+                "fields": {k: v for k, v in fields.items() if v is not None},
+            }
+        )
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """The ring's records as a picklable list (workers return this)."""
+        with self._lock:
+            return list(self.records)
+
+    def merge(self, records: List[Dict[str, object]]) -> None:
+        """Fold records from another recorder (e.g. a worker process) in.
+
+        Records keep their original ids, process and thread names, so
+        parent links across the process boundary resolve; with a stream,
+        merged records are flushed like native ones.
+        """
+        for record in records:
+            self._emit(dict(record))
+
+    def flush(self) -> None:
+        with self._lock:
+            self._drain(time.time())
+
+    def close(self) -> None:
+        with self._lock:
+            self._drain(time.time())
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None

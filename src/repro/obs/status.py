@@ -1,0 +1,140 @@
+"""``repro status``: live text view of an in-flight process' obs stream.
+
+The recorder flushes each record as its span closes, so tailing the
+stream of a running sweep/serve process shows work as it completes:
+record rates, the span-name mix with durations, engine fallback reasons,
+errors, and the most recent traces.  One call renders one snapshot;
+``repro status --follow`` re-reads and re-renders on an interval.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .explain import build_trees
+
+
+def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate view of a record list (spans, events, fallbacks, errors)."""
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    by_name: Dict[str, List[float]] = {}
+    errors: List[Dict[str, object]] = []
+    last_ts = 0.0
+    for record in spans:
+        name = str(record.get("name"))
+        duration = max(
+            0.0, float(record.get("end", 0.0)) - float(record.get("start", 0.0))
+        )
+        by_name.setdefault(name, []).append(duration)
+        last_ts = max(last_ts, float(record.get("end", 0.0)))
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict) and "error" in attrs:
+            errors.append(record)
+    fallbacks: Dict[Tuple[str, str], int] = {}
+    for record in events:
+        last_ts = max(last_ts, float(record.get("time", 0.0)))
+        if record.get("name") != "engine.fallback":
+            continue
+        fields = record.get("fields")
+        if not isinstance(fields, dict):
+            continue
+        key = (str(fields.get("engine")), str(fields.get("reason")))
+        fallbacks[key] = fallbacks.get(key, 0) + int(fields.get("count", 1))
+    procs = sorted({str(r.get("proc")) for r in records if r.get("proc")})
+    return {
+        "spans": len(spans),
+        "events": len(events),
+        "traces": len({r.get("trace") for r in spans}),
+        "procs": procs,
+        "by_name": by_name,
+        "fallbacks": fallbacks,
+        "errors": errors,
+        "last_ts": last_ts,
+    }
+
+
+def format_status(
+    records: Sequence[Dict[str, object]],
+    path: Optional[str] = None,
+    now: Optional[float] = None,
+    recent: int = 5,
+) -> str:
+    """One status snapshot of an obs stream, as terminal text."""
+    if not records:
+        return "obs stream%s is empty (no spans flushed yet)" % (
+            " %s" % path if path else ""
+        )
+    summary = summarize(records)
+    now = time.time() if now is None else now
+    age = max(0.0, now - float(summary["last_ts"]))
+    lines = [
+        "obs stream%s: %d spans / %d events / %d traces across %d process%s "
+        "(last activity %.1fs ago)"
+        % (
+            " %s" % path if path else "",
+            summary["spans"],
+            summary["events"],
+            summary["traces"],
+            len(summary["procs"]),
+            "" if len(summary["procs"]) == 1 else "es",
+            age,
+        )
+    ]
+    by_name: Dict[str, List[float]] = summary["by_name"]  # type: ignore[assignment]
+    if by_name:
+        lines.append("")
+        lines.append(
+            "  %-26s %7s %12s %12s %12s"
+            % ("span", "count", "total", "mean", "max")
+        )
+        for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+            durations = by_name[name]
+            lines.append(
+                "  %-26s %7d %9.1f ms %9.3f ms %9.3f ms"
+                % (
+                    name,
+                    len(durations),
+                    sum(durations) * 1e3,
+                    sum(durations) / len(durations) * 1e3,
+                    max(durations) * 1e3,
+                )
+            )
+    fallbacks: Dict[Tuple[str, str], int] = summary["fallbacks"]  # type: ignore[assignment]
+    if fallbacks:
+        lines.append("")
+        lines.append("  engine fallbacks by reason:")
+        for (engine, reason), count in sorted(
+            fallbacks.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append("    %-14s %-22s %6d" % (engine, reason, count))
+    errors: List[Dict[str, object]] = summary["errors"]  # type: ignore[assignment]
+    if errors:
+        lines.append("")
+        lines.append("  %d span(s) recorded errors; most recent:" % len(errors))
+        for record in errors[-3:]:
+            attrs = record.get("attrs")
+            detail = attrs.get("error") if isinstance(attrs, dict) else ""
+            lines.append("    %s: %s" % (record.get("name"), detail))
+    roots_by_trace, _orphans, _loose = build_trees(records)
+    roots = sorted(
+        (nodes[0] for nodes in roots_by_trace.values() if nodes),
+        key=lambda node: node.start,
+    )
+    if roots:
+        lines.append("")
+        lines.append("  recent traces:")
+        for root in roots[-max(1, recent):]:
+            lines.append(
+                "    %s  %-24s %9.3f ms  %s"
+                % (
+                    root.trace_id,
+                    root.name,
+                    root.duration * 1e3,
+                    " ".join(
+                        "%s=%s" % (k, root.attrs[k]) for k in sorted(root.attrs)
+                    ),
+                )
+            )
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from typing import (
     Tuple,
 )
 
+from .. import obs
 from ..collectives.variants import FLOW_CONTROL_FACTORIES, variant_names
 from ..metrics.registry import get_registry
 from ..scenario import (
@@ -343,6 +344,20 @@ def plan(
     :class:`PredictionCache` and call ``save()`` after (the CLI and the
     service both do).
     """
+    with obs.span(
+        "serve.plan", topology=spec.topology, sizes=len(spec.sizes)
+    ) as plan_span:
+        result = _plan(spec, cache, artifacts)
+        plan_span.set("candidates", len(result.scenarios))
+        plan_span.set("skipped", len(result.skipped))
+        return result
+
+
+def _plan(
+    spec: WorkloadSpec,
+    cache: Optional[PredictionCache],
+    artifacts: Optional[ArtifactStore],
+) -> PlanResult:
     start = time.perf_counter()
     result = PlanResult(topology=spec.topology)
     hits0 = cache.hits if cache is not None else 0
@@ -374,15 +389,19 @@ def plan(
             )
     for size in spec.sizes:
         entries = by_size[size]
-        bucket = PlanBucket(data_bytes=size, candidates=len(entries))
-        bucket.frontier = pareto_frontier(
-            entries,
-            objectives=(
-                (lambda e: e.time, "min"),
-                (lambda e: e.bandwidth, "max"),
-            ),
-            tie_break=lambda e: e.scenario,
-        )
+        with obs.span(
+            "plan.bucket", size=size, entries=len(entries)
+        ) as bucket_span:
+            bucket = PlanBucket(data_bytes=size, candidates=len(entries))
+            bucket.frontier = pareto_frontier(
+                entries,
+                objectives=(
+                    (lambda e: e.time, "min"),
+                    (lambda e: e.bandwidth, "max"),
+                ),
+                tie_break=lambda e: e.scenario,
+            )
+            bucket_span.set("frontier", len(bucket.frontier))
         result.buckets.append(bucket)
     if cache is not None:
         result.cache_hits = cache.hits - hits0

@@ -44,6 +44,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from .. import obs
 from ..metrics.export import to_prometheus
 from ..metrics.manifest import repro_version
 from ..metrics.registry import MetricsRegistry
@@ -60,30 +61,58 @@ CACHE_FILENAME = "cache.json"
 ARTIFACTS_DIRNAME = "artifacts"
 REQUEST_LOG_FILENAME = "requests.jsonl"
 
+#: Rotate the request log once it grows past this (one ``.1`` rollover is
+#: kept).  64 MiB of JSONL is days of high-QPS serving.
+DEFAULT_LOG_MAX_BYTES = 64 * 1024 * 1024
+
 
 class RequestLog:
     """Append-only JSONL request manifest, flushed per record.
 
     One record per served request: timestamp, endpoint, query identity,
     status, outcome source and latency — the serving counterpart of the
-    run manifests in :mod:`repro.metrics.manifest`.
+    run manifests in :mod:`repro.metrics.manifest`.  The file is
+    size-capped: when an append would push it past ``max_bytes`` the
+    current file rolls over to ``<path>.1`` (replacing any previous
+    rollover) and a fresh file starts, so a long-lived service keeps at
+    most two generations on disk instead of growing without bound.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self, path: str, max_bytes: int = DEFAULT_LOG_MAX_BYTES
+    ) -> None:
         self.path = path
+        self.max_bytes = max(0, int(max_bytes))
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._lock = threading.Lock()
         self._fh = open(path, "a")
+        self._size = os.path.getsize(path) if os.path.exists(path) else 0
         self.records_written = 0
+        self.rotations = 0
+
+    def _rotate(self) -> None:
+        """Roll the current file to ``<path>.1`` (caller holds the lock)."""
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "a")
+        self._size = 0
+        self.rotations += 1
 
     def append(self, record: Dict[str, object]) -> None:
         record = dict(record)
         record.setdefault("schema", REQUEST_LOG_SCHEMA_VERSION)
-        line = json.dumps(record, sort_keys=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
-            self._fh.write(line + "\n")
+            if (
+                self.max_bytes
+                and self._size
+                and self._size + len(line) > self.max_bytes
+            ):
+                self._rotate()
+            self._fh.write(line)
             self._fh.flush()
+            self._size += len(line)
             self.records_written += 1
 
     def close(self) -> None:
@@ -117,8 +146,12 @@ class PredictionService:
         self.request_log = request_log
         self.retry_after_s = retry_after_s
         self.started_at = time.time()
-        self._queue: "queue.Queue[Optional[Scenario]]" = queue.Queue(
-            maxsize=max(1, queue_size)
+        # Entries are ``(scenario, obs carrier)`` pairs — the carrier
+        # links the worker's warm-up spans back to the enqueuing request's
+        # trace; ``None`` (the bare item, not a pair) stays the shutdown
+        # sentinel.
+        self._queue: "queue.Queue[Optional[Tuple[Scenario, Optional[Dict[str, str]]]]]" = (
+            queue.Queue(maxsize=max(1, queue_size))
         )
         self._inflight: set = set()       # cache keys queued or computing
         self._failed: Dict[str, str] = {}  # cache key -> compile error
@@ -153,15 +186,24 @@ class PredictionService:
 
     def _compute(self, scenario: Scenario, key: str) -> Dict[str, float]:
         """Simulate one point through the artifact fast path, cache it."""
-        resolved = scenario.resolve()
-        topology = scenario.build_topology()
-        compiled = self.artifacts.get_or_compile(topology, resolved.builder)
-        entry = predict_cached(
-            compiled, scenario.data_bytes, resolved.flow_control,
-            scenario.lockstep, self.cache, scenario.engine, key=key,
-        )
-        self.cache.save()
-        return entry
+        with obs.span(
+            "serve.compute",
+            scenario=str(scenario),
+            fingerprint=self.identity(scenario)[1],
+        ):
+            resolved = scenario.resolve()
+            topology = scenario.build_topology()
+            with obs.span("artifact.load", topology=topology.name):
+                compiled = self.artifacts.get_or_compile(
+                    topology, resolved.builder
+                )
+            entry = predict_cached(
+                compiled, scenario.data_bytes, resolved.flow_control,
+                scenario.lockstep, self.cache, scenario.engine, key=key,
+            )
+            with obs.span("cache.save", entries=len(self.cache)):
+                self.cache.save()
+            return entry
 
     def predict(
         self, scenario: Scenario, block: bool = False
@@ -175,7 +217,17 @@ class PredictionService:
         or computing), ``"enqueued"`` (freshly queued) or
         ``"overloaded"`` (bounded queue full — retry later).
         """
-        key, _fingerprint = self.identity(scenario)
+        key, fingerprint = self.identity(scenario)
+        with obs.span(
+            "serve.predict", scenario=str(scenario), fingerprint=fingerprint
+        ) as predict_span:
+            entry, source = self._predict_inner(scenario, key, block)
+            predict_span.set("source", source)
+            return entry, source
+
+    def _predict_inner(
+        self, scenario: Scenario, key: str, block: bool
+    ) -> Tuple[Optional[Dict[str, float]], str]:
         entry = self.cache.get(key)
         if entry is not None:
             self.registry.counter("serve.predict.hits").inc()
@@ -210,7 +262,7 @@ class PredictionService:
                 return "warming"
             self._inflight.add(key)
         try:
-            self._queue.put_nowait(scenario)
+            self._queue.put_nowait((scenario, obs.current_carrier()))
         except queue.Full:
             with self._lock:
                 self._inflight.discard(key)
@@ -221,14 +273,24 @@ class PredictionService:
 
     def _worker_loop(self) -> None:
         while True:
-            scenario = self._queue.get()
-            if scenario is None:  # shutdown sentinel
+            item = self._queue.get()
+            if item is None:  # shutdown sentinel
                 self._queue.task_done()
                 return
-            key, _fingerprint = self.identity(scenario)
+            scenario, carrier = item
+            key, fingerprint = self.identity(scenario)
             start = time.perf_counter()
             try:
-                self._compute(scenario, key)
+                # The carrier links this warm-up back to the request that
+                # enqueued it: the worker's spans join that trace even
+                # though the request thread answered 202 long ago.
+                with obs.attached(carrier):
+                    with obs.span(
+                        "serve.warm",
+                        scenario=str(scenario),
+                        fingerprint=fingerprint,
+                    ):
+                        self._compute(scenario, key)
                 self.registry.counter("serve.compiled").inc()
                 self.registry.histogram("serve.compile_time").observe(
                     time.perf_counter() - start
@@ -324,24 +386,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
         params = dict(parse_qsl(split.query, keep_blank_values=True))
         endpoint = split.path.rstrip("/") or "/"
         record: Dict[str, object] = {"ts": time.time(), "endpoint": endpoint}
-        try:
-            if endpoint == "/healthz":
-                status, payload = 200, self.service.health()
-            elif endpoint == "/metrics":
-                status, payload = 200, None  # rendered below, not JSON
-            elif endpoint == "/predict":
-                status, payload = self._predict(params, record)
-            elif endpoint == "/plan":
-                status, payload = self._plan(params, record)
-            else:
-                status, payload = 404, {
-                    "error": "unknown endpoint %s" % endpoint,
-                    "endpoints": ["/predict", "/plan", "/healthz", "/metrics"],
-                }
-        except ValueError as error:
-            status, payload = 400, {"error": str(error)}
-        except Exception as error:  # pragma: no cover - defensive
-            status, payload = 500, {"error": str(error)}
+        # The root span of one unit of served work: everything the request
+        # triggers — planner, prediction, queued warm-ups in the worker
+        # pool — joins this trace.
+        with obs.span("http.request", endpoint=endpoint) as request_span:
+            trace_id = request_span.trace_id
+            try:
+                if endpoint == "/healthz":
+                    status, payload = 200, self.service.health()
+                elif endpoint == "/metrics":
+                    status, payload = 200, None  # rendered below, not JSON
+                elif endpoint == "/predict":
+                    status, payload = self._predict(params, record)
+                elif endpoint == "/plan":
+                    status, payload = self._plan(params, record)
+                else:
+                    status, payload = 404, {
+                        "error": "unknown endpoint %s" % endpoint,
+                        "endpoints": [
+                            "/predict", "/plan", "/healthz", "/metrics"
+                        ],
+                    }
+            except ValueError as error:
+                status, payload = 400, {"error": str(error)}
+            except Exception as error:  # pragma: no cover - defensive
+                status, payload = 500, {"error": str(error)}
+            request_span.set("status", status)
         latency_s = time.perf_counter() - start
         if endpoint == "/metrics" and status == 200:
             body = to_prometheus(self.service.registry).encode()
@@ -357,6 +427,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", "%d" % max(1, round(retry_after)))
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
         registry = self.service.registry
@@ -368,6 +440,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         )
         if self.service.request_log is not None:
             record.update(status=status, latency_s=latency_s)
+            if trace_id is not None:
+                record["trace"] = trace_id
             self.service.request_log.append(record)
 
     # -- endpoints ---------------------------------------------------------

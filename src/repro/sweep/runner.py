@@ -17,11 +17,13 @@ and a crashed worker costs only its own points.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..analysis.metrics import BandwidthSweep, SweepPoint
 from ..collectives import build_schedule
 from ..collectives.schedule import Schedule
@@ -318,6 +320,17 @@ def record_sweep_metrics(
         registry.gauge("allreduce_time", **labels).set(point.time)
 
 
+def scenario_fingerprint(scenarios: Sequence[Scenario]) -> str:
+    """Short stable digest of a scenario series.
+
+    The correlation key obs spans carry: the same series produces the
+    same fingerprint in the serve planner, the sweep runner, and any
+    worker process, so one unit of work can be followed across them.
+    """
+    joined = "|".join(s.canonical() for s in scenarios)
+    return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+
 def run_job(
     job: SweepJob,
     cache: Optional[PredictionCache] = None,
@@ -329,10 +342,22 @@ def run_job(
     replaced by one compiled-artifact load per (topology, algorithm) —
     a cold store compiles and persists the artifact for the next run.
     """
+    with obs.span(
+        "sweep.job",
+        topology=job.topology,
+        algorithm=job.algorithm,
+        engine=job.engine,
+        sizes=len(job.sizes),
+    ) as job_span:
+        return _run_job(job, cache, artifacts, job_span)
+
+
+def _run_job(job, cache, artifacts, job_span) -> BandwidthSweep:
     start = time.perf_counter()
     algorithm, fc, label = job.resolve()
     topology = parse_topology_spec(job.topology)
     scenarios = job.scenarios()
+    job_span.set("fingerprint", scenario_fingerprint(scenarios))
     keys = None
     sweep = None
     if cache is not None:
@@ -352,6 +377,7 @@ def run_job(
                         max_queue_delay=entry["max_queue_delay"],
                     )
                 )
+            job_span.set("warm", True)
     if sweep is None:
         if artifacts is not None:
             schedule = artifacts.get_or_compile(topology, algorithm)
@@ -390,20 +416,37 @@ def _worker(
     wall time, and — when the parent had metrics enabled — the worker's
     full registry snapshot for the parent to merge (counters sum,
     histograms merge bucket-wise, so the folded view equals
-    single-process collection).
+    single-process collection).  When the parent had span collection
+    enabled, the trace/span carrier rides in as the fifth tuple element;
+    the worker records into a local in-memory recorder under that parent
+    context and ships its records back in ``report["obs"]`` for the
+    parent to merge — every worker span stays parent-linked to the
+    originating ``sweep.job`` context.
     """
-    job, cache_path, artifacts_path, collect_metrics = args
+    job, cache_path, artifacts_path, collect_metrics = args[:4]
+    obs_carrier = args[4] if len(args) > 4 else None
     cache = PredictionCache(cache_path) if cache_path else None
     artifacts = ArtifactStore(artifacts_path) if artifacts_path else None
     before = set(cache.entries) if cache is not None else set()
     start = time.perf_counter()
-    if collect_metrics:
-        with collecting() as registry:
-            sweep = run_job(job, cache, artifacts)
-        snapshot = registry.snapshot()
-    else:
-        sweep = run_job(job, cache, artifacts)
-        snapshot = None
+
+    recorder = None
+    previous = None
+    if obs_carrier is not None:
+        recorder = obs.ObsRecorder()
+        previous = obs.set_obs(recorder)
+    try:
+        with obs.attached(obs_carrier or None):
+            if collect_metrics:
+                with collecting() as registry:
+                    sweep = run_job(job, cache, artifacts)
+                snapshot = registry.snapshot()
+            else:
+                sweep = run_job(job, cache, artifacts)
+                snapshot = None
+    finally:
+        if recorder is not None:
+            obs.set_obs(previous)
     report: Dict[str, object] = {
         "hits": cache.hits if cache is not None else 0,
         "misses": cache.misses if cache is not None else 0,
@@ -411,6 +454,7 @@ def _worker(
         "artifact_misses": artifacts.misses if artifacts is not None else 0,
         "job_time_s": time.perf_counter() - start,
         "metrics": snapshot,
+        "obs": recorder.snapshot() if recorder is not None else None,
     }
     fresh = (
         {k: v for k, v in cache.entries.items() if k not in before}
@@ -442,6 +486,22 @@ def run_sweep(
     folds every worker snapshot into its own, so aggregate telemetry is
     identical to a serial run.
     """
+    with obs.span(
+        "sweep.run", jobs=len(jobs), processes=processes or 1
+    ) as sweep_span:
+        sweeps = _run_sweep(jobs, processes, cache_path, stats,
+                            artifacts_path)
+        sweep_span.set("points", sum(len(s.points) for s in sweeps))
+        return sweeps
+
+
+def _run_sweep(
+    jobs: Sequence[SweepJob],
+    processes: Optional[int],
+    cache_path: Optional[str],
+    stats: Optional[SweepStats],
+    artifacts_path: Optional[str],
+) -> List[BandwidthSweep]:
     if stats is None:
         stats = SweepStats()
     stats.jobs = len(jobs)
@@ -468,11 +528,25 @@ def run_sweep(
         stats.workers = 1
     else:
         workers = min(processes, len(jobs))
+        obs_recorder = obs.get_obs()
+        # Each pool job carries the parent's current span context so the
+        # worker's span tree stays parent-linked across the process
+        # boundary.  ``None`` keeps obs off in workers entirely; an empty
+        # dict means "collect, but start fresh traces".
+        obs_carrier = (
+            (obs.current_carrier() or {}) if obs_recorder is not None else None
+        )
         with multiprocessing.Pool(workers) as pool:
             outcomes = pool.map(
                 _worker,
                 [
-                    (job, cache_path, artifacts_path, registry is not None)
+                    (
+                        job,
+                        cache_path,
+                        artifacts_path,
+                        registry is not None,
+                        obs_carrier,
+                    )
                     for job in jobs
                 ],
             )
@@ -485,6 +559,8 @@ def run_sweep(
             stats.job_times_s.append(float(report["job_time_s"]))
             if registry is not None and report["metrics"] is not None:
                 registry.merge_snapshot(report["metrics"])
+            if obs_recorder is not None and report.get("obs"):
+                obs_recorder.merge(report["obs"])
         stats.workers = workers
         if cache_path:
             cache = PredictionCache(cache_path)

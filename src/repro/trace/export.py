@@ -31,7 +31,8 @@ _PID_MESSAGES = 2
 _PID_HOST = 3
 
 
-def _process_meta(pid: int, name: str) -> Dict[str, object]:
+def process_meta(pid: int, name: str) -> Dict[str, object]:
+    """Chrome trace-event process-name metadata record."""
     return {
         "ph": "M",
         "name": "process_name",
@@ -41,7 +42,8 @@ def _process_meta(pid: int, name: str) -> Dict[str, object]:
     }
 
 
-def _thread_meta(pid: int, tid: int, name: str) -> Dict[str, object]:
+def thread_meta(pid: int, tid: int, name: str) -> Dict[str, object]:
+    """Chrome trace-event thread-name metadata record."""
     return {
         "ph": "M",
         "name": "thread_name",
@@ -49,6 +51,12 @@ def _thread_meta(pid: int, tid: int, name: str) -> Dict[str, object]:
         "tid": tid,
         "args": {"name": name},
     }
+
+
+# Shared with repro.obs.export, which lays cross-process spans out on the
+# same pid/tid track scheme.
+_process_meta = process_meta
+_thread_meta = thread_meta
 
 
 def to_chrome_trace(trace: Trace) -> Dict[str, object]:
