@@ -17,7 +17,12 @@ Six benchmarks cover the optimized strata:
   compile-and-simulate path, with p50/p99 per-query latency;
 * ``batch``        — one-pass batched vectorized evaluation of a
   Fig. 10-style multi-size doubling range (``lockstep-vec``) vs the
-  per-size scalar lockstep engine, artifact-warm on both sides.
+  per-size scalar lockstep engine, artifact-warm on both sides;
+* ``scaleout_xl``  — the cluster-scale tier (quick: 2048-node 3D torus,
+  full: 8192): streaming CSR compile + vectorized batch as the cold
+  reference vs the artifact-warm rerun (lazy shard loads + the same
+  batch), reporting wall time *and* peak RSS against the documented
+  memory envelope.
 
 Each benchmark times the optimized implementation against the seed
 implementation preserved in :mod:`repro.bench.reference` *in the same
@@ -64,7 +69,17 @@ MiB = 1 << 20
 #: replay through the prediction service).
 #: v4: added the ``batch`` benchmark (one-pass vectorized multi-size
 #: evaluation vs per-size scalar lockstep) and numpy/engine metadata.
-BENCH_SCHEMA_VERSION = 4
+#: v5: added the ``scaleout_xl`` benchmark (cluster-scale streaming
+#: compile + artifact-warm rerun with peak-RSS reporting).
+BENCH_SCHEMA_VERSION = 5
+
+#: Documented peak-RSS envelopes (MiB) for the ``scaleout_xl`` tier.
+#: The quick tier (2048-node torus3d) must fit a CI runner; the full
+#: tier (8192 nodes, ~134M ops) is bounded by the compiled columns plus
+#: one ready/deliver matrix per payload size.  CI asserts the quick
+#: ceiling on every bench-smoke run (see .github/workflows/ci.yml).
+SCALEOUT_XL_QUICK_RSS_MIB = 4096
+SCALEOUT_XL_FULL_RSS_MIB = 12288
 
 #: Fig. 9 size axis used by the end-to-end benchmark.
 FIG9_SIZES = (
@@ -549,6 +564,118 @@ def bench_batch(
     )
 
 
+def bench_scaleout_xl(
+    spec: str = "torus3d-16x16x8",
+    num_sizes: int = 2,
+    repeat: int = 1,
+    store_dir: Optional[str] = None,
+    rss_envelope_mib: int = SCALEOUT_XL_QUICK_RSS_MIB,
+) -> BenchResult:
+    """Cluster-scale tier: streaming compile vs artifact-warm rerun.
+
+    The *reference* is what the first run at a new scale always pays:
+    MultiTree construction + streaming CSR compilation
+    (:func:`repro.collectives.streaming.compile_multitree`) followed by
+    one vectorized batch over the size axis.  The *optimized* side is
+    every run after it: load the sharded artifact (columns stay lazy —
+    the benchmark asserts the dependency shard has not been materialized
+    by the load itself) and run the same batch.  Both sides must agree
+    exactly and run the vectorized engine with zero fallbacks — at this
+    scale a silent scalar fallback is a multi-GiB, multi-minute
+    regression, which is precisely what the gate is for.
+
+    The size axis sits at the paper's Fig. 10 weak-scaling operating
+    point (375 KiB x num_nodes, halving downward), large enough that the
+    per-size wire math stays on the vectorized path.  ``meta`` records
+    ``peak_rss_mib`` (``resource.getrusage`` high-water mark, i.e. the
+    whole process including both pipelines) and the documented envelope
+    it must stay under; CI enforces the quick-tier ceiling.
+    """
+    import resource
+
+    from ..collectives.streaming import compile_multitree
+    from ..network.lockstep_vec import run_batch
+    from ..topology.specs import parse_topology_spec
+
+    topo = parse_topology_spec(spec)
+    base = 375 * topo.num_nodes * KiB
+    sizes = tuple(base >> (num_sizes - 1 - i) for i in range(num_sizes))
+    scenarios = [
+        Scenario(
+            topology=spec, algorithm="multitree", data_bytes=size,
+            engine="lockstep-vec",
+        )
+        for size in sizes
+    ]
+    fc = scenarios[0].resolve().flow_control
+    root = store_dir or tempfile.mkdtemp(prefix="repro-bench-scaleout-xl-")
+    store = ArtifactStore(root)
+
+    def cold_pipeline():
+        compiled = compile_multitree(topo)
+        batch = run_batch(compiled, sizes, fc)
+        return compiled, [p.time for p in batch.points], batch.fallbacks
+
+    reference, (compiled, ref_times, ref_fallbacks) = _best_of_values(
+        lambda: cold_pipeline(), repeat
+    )
+    store.put(compiled)
+    num_ops = len(compiled)
+    del compiled  # the warm side must not lean on the cold side's columns
+
+    def warm_pipeline():
+        # A fresh store per run: the memo would otherwise hand back the
+        # in-process object and skip the shard-load path under test.
+        warmed = ArtifactStore(root).get(topo, "multitree")
+        if warmed is None:
+            raise RuntimeError(
+                "artifact store lost %s/multitree between put and rerun"
+                % topo.name
+            )
+        # The load itself must stay lazy: the dependency columns (the
+        # largest shards) may only materialize when the engine asks.
+        lazy = getattr(warmed.dep_val, "loaded", None)
+        if lazy is not False:
+            raise RuntimeError(
+                "artifact-warm load materialized dep_val eagerly "
+                "(loaded=%r)" % lazy
+            )
+        batch = run_batch(warmed, sizes, fc)
+        return [p.time for p in batch.points], batch.fallbacks
+
+    optimized, (fast_times, fast_fallbacks) = _best_of_values(
+        warm_pipeline, repeat
+    )
+    if ref_fallbacks or fast_fallbacks:
+        raise RuntimeError(
+            "scaleout_xl must stay on the vectorized path (fallbacks: "
+            "cold=%d warm=%d)" % (ref_fallbacks, fast_fallbacks)
+        )
+    if fast_times != ref_times:
+        raise RuntimeError(
+            "artifact-warm rerun diverged from the streaming-compile run"
+        )
+    peak_rss_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return BenchResult(
+        name="scaleout_xl",
+        optimized_s=optimized,
+        reference_s=reference,
+        meta={
+            "scenarios": [str(s) for s in scenarios],
+            "fingerprint": scenario_set_fingerprint(scenarios),
+            "topology": topo.name,
+            "nodes": topo.num_nodes,
+            "ops": num_ops,
+            "sizes": list(sizes),
+            "engine": "lockstep-vec",
+            "peak_rss_mib": peak_rss_mib,
+            "rss_envelope_mib": rss_envelope_mib,
+            "optimized": "artifact-warm lazy shard load + one batch pass",
+            "reference": "streaming CSR compile + one batch pass",
+        },
+    )
+
+
 def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, object]:
     """Run the full harness; ``quick`` shrinks topologies for CI smoke runs."""
     if quick:
@@ -566,6 +693,12 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
             bench_batch(
                 (16, 16), algorithms=("2d-ring",), num_sizes=4, repeat=reps
             ),
+            # One pass regardless of --repeat: the cold side pays a full
+            # cluster-scale construction + compile per run.
+            bench_scaleout_xl(
+                "torus3d-16x16x8", repeat=1,
+                rss_envelope_mib=SCALEOUT_XL_QUICK_RSS_MIB,
+            ),
         ]
     else:
         reps = repeat if repeat is not None else 1
@@ -577,6 +710,10 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
             bench_scaleout((32, 32), repeat=reps),
             bench_serve((8, 8), repeat=max(3, reps)),
             bench_batch((32, 32), repeat=reps),
+            bench_scaleout_xl(
+                "torus3d-32x16x16", repeat=1,
+                rss_envelope_mib=SCALEOUT_XL_FULL_RSS_MIB,
+            ),
         ]
     import numpy
 

@@ -36,6 +36,21 @@ from ..topology.base import LinkKey, Topology, topology_fingerprint
 COMPILED_FORMAT = "repro-compiled-v1"
 
 
+def _column_list(col) -> list:
+    """A plain-int/float list view of a column of any backing type.
+
+    Columns may be plain lists (the object compiler), ``array.array``
+    or numpy arrays (the streaming compiler, artifact shards);
+    serialization and the equality oracle always see the identical
+    plain-list form.
+    """
+    if isinstance(col, list):
+        return col
+    if hasattr(col, "tolist"):
+        return col.tolist()
+    return list(col)
+
+
 class CompiledSchedule:
     """The payload-independent lowered product of one schedule.
 
@@ -65,7 +80,6 @@ class CompiledSchedule:
         "steps",
         "frac_num",
         "frac_den",
-        "frac_floats",
         "links",
         "route_off",
         "route_val",
@@ -76,6 +90,7 @@ class CompiledSchedule:
         "_route_csr",
         "_groups",
         "_dep_struct",
+        "_frac_floats",
         "_frac_arr",
         "_steps_arr",
         "_vec_plan",
@@ -108,11 +123,6 @@ class CompiledSchedule:
         self.steps = steps
         self.frac_num = frac_num
         self.frac_den = frac_den
-        # n/d true division rounds identically to float(Fraction(n, d)),
-        # so these floats match ChunkRange.bytes_of's memoized factor.
-        self.frac_floats = [
-            num / den for num, den in zip(frac_num, frac_den)
-        ]
         #: Deduplicated link-key table; ``route_val`` holds indices into it.
         self.links = links
         self.route_off = route_off
@@ -127,6 +137,7 @@ class CompiledSchedule:
         self._route_csr: Optional[List[int]] = None
         self._groups: Optional[List[List[int]]] = None
         self._dep_struct = None
+        self._frac_floats = None
         self._frac_arr = None
         self._steps_arr = None
         self._vec_plan = None
@@ -134,6 +145,55 @@ class CompiledSchedule:
 
     def __len__(self) -> int:
         return len(self.srcs)
+
+    @property
+    def frac_floats(self) -> List[float]:
+        """Per-op chunk fractions as floats, materialized lazily.
+
+        n/d true division rounds identically to ``float(Fraction(n,
+        d))``, so these floats match ChunkRange.bytes_of's memoized
+        factor.  Lazy because streaming-compiled schedules carry
+        millions of ops behind constant-class columns — the vectorized
+        engine reads :meth:`frac_classes` instead and never pays for the
+        per-op list.
+        """
+        floats = self._frac_floats
+        if floats is None:
+            floats = self._frac_floats = [
+                num / den for num, den in zip(self.frac_num, self.frac_den)
+            ]
+        return floats
+
+    def frac_classes(self):
+        """``(unique_fractions, per_op_class_index)`` numpy pair, memoized.
+
+        The class table behind the batched engine's wire-size dedup.
+        Constant-fraction schedules (MultiTree: every op moves 1/n)
+        short-circuit to a single class with a zero-stride index column,
+        keeping the per-op axis unmaterialized at any scale.
+        """
+        import numpy as np
+
+        cached = self._wire_classes
+        if cached is None:
+            num = self.frac_num
+            den = self.frac_den
+            if (
+                isinstance(num, np.ndarray)
+                and isinstance(den, np.ndarray)
+                and num.strides == (0,) == den.strides
+                and len(num)
+            ):
+                uniq = np.asarray(
+                    [int(num[0]) / int(den[0])], dtype=np.float64
+                )
+                idx = np.broadcast_to(np.intp(0), (len(num),))
+            else:
+                frac_arr = np.asarray(self.frac_floats, dtype=np.float64)
+                uniq, idx = np.unique(frac_arr, return_inverse=True)
+                idx = idx.astype(np.intp)
+            cached = self._wire_classes = (uniq, idx)
+        return cached
 
     @property
     def routes(self) -> List[Tuple[LinkKey, ...]]:
@@ -151,6 +211,9 @@ class CompiledSchedule:
         """Per-op dependency lists, materialized fresh from the CSR arrays."""
         off = self.dep_off
         val = self.dep_val
+        if hasattr(val, "tolist") and not isinstance(val, list):
+            val = val.tolist()
+            off = _column_list(off)
         return [val[off[i]:off[i + 1]] for i in range(len(off) - 1)]
 
     # -- payload-dependent lowering ---------------------------------------
@@ -386,16 +449,16 @@ class CompiledSchedule:
             "topology_name": self.topology.name,
             "algorithm": self.algorithm,
             "num_steps": self.num_steps,
-            "srcs": self.srcs,
-            "dsts": self.dsts,
-            "steps": self.steps,
-            "frac_num": self.frac_num,
-            "frac_den": self.frac_den,
+            "srcs": _column_list(self.srcs),
+            "dsts": _column_list(self.dsts),
+            "steps": _column_list(self.steps),
+            "frac_num": _column_list(self.frac_num),
+            "frac_den": _column_list(self.frac_den),
             "links": [[key[0], key[1]] for key in self.links],
-            "route_offsets": self.route_off,
-            "route_values": self.route_val,
-            "dep_offsets": self.dep_off,
-            "dep_values": self.dep_val,
+            "route_offsets": _column_list(self.route_off),
+            "route_values": _column_list(self.route_val),
+            "dep_offsets": _column_list(self.dep_off),
+            "dep_values": _column_list(self.dep_val),
             "ser_steps": [entry[0] for entry in self.ser_profile],
             "ser_bandwidth": [entry[1] for entry in self.ser_profile],
             "ser_fraction": [entry[2] for entry in self.ser_profile],

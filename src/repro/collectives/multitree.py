@@ -18,6 +18,7 @@ and the allocated route is recorded on each op for source routing (§IV-B).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -106,114 +107,394 @@ class SpanningTree:
 TREE_PRIORITIES = ("root-id", "most-remaining")
 
 
-def build_trees(
-    topology: Topology, priority: str = "root-id"
-) -> Tuple[List[SpanningTree], int]:
-    """Run Algorithm 1's construction loop (lines 1-15).
+class FlatForest:
+    """Array-backed MultiTree forest — the large-N construction product.
 
-    Returns the |V| spanning trees (edge steps = all-gather time steps) and
-    the total number of time steps ``tot_t``.
+    One growable typed array per column instead of per-edge
+    :class:`TreeEdge` objects and per-tree dicts: at 8k nodes the object
+    forest holds ~67M dataclass instances (tens of GiB and a cyclic-GC
+    scan burden), while the flat form is a few hundred MiB of ``array``
+    buffers that convert zero-copy to numpy for the streaming compiler.
+
+    Per tree (indexed by root id): ``edge_parent[root][k]`` /
+    ``edge_child[root][k]`` / ``edge_step[root][k]`` describe the k-th
+    edge in addition order, and ``orders[root]`` is the breadth-first
+    member order starting at the root.  ``edge_routes`` is only populated
+    on switched topologies (direct-network routes are always the single
+    ``(parent, child)`` link and are reconstructed on demand).
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "tot_t",
+        "edge_parent",
+        "edge_child",
+        "edge_step",
+        "edge_routes",
+        "orders",
+    )
+
+    def __init__(self, num_nodes: int, typecode: str, switched: bool) -> None:
+        self.num_nodes = num_nodes
+        self.tot_t = 0
+        self.edge_parent: List[array] = [array(typecode) for _ in range(num_nodes)]
+        self.edge_child: List[array] = [array(typecode) for _ in range(num_nodes)]
+        self.edge_step: List[array] = [array(typecode) for _ in range(num_nodes)]
+        self.edge_routes: Optional[List[List[Tuple[LinkKey, ...]]]] = (
+            [[] for _ in range(num_nodes)] if switched else None
+        )
+        self.orders: List[array] = [
+            array(typecode, (root,)) for root in range(num_nodes)
+        ]
+
+    def num_edges(self) -> int:
+        return sum(len(par) for par in self.edge_parent)
+
+    def depth(self, root: int) -> int:
+        steps = self.edge_step[root]
+        return max(steps) if steps else 0
+
+    def route_of(self, root: int, k: int) -> Tuple[LinkKey, ...]:
+        """Allocated route of the k-th edge of tree ``root``."""
+        if self.edge_routes is not None:
+            return self.edge_routes[root][k]
+        return ((self.edge_parent[root][k], self.edge_child[root][k]),)
+
+    def to_trees(self) -> List[SpanningTree]:
+        """Materialize the object forest (small-N / rendering paths)."""
+        trees: List[SpanningTree] = []
+        for root in range(self.num_nodes):
+            tree = SpanningTree(root=root, num_nodes=self.num_nodes)
+            parents = self.edge_parent[root]
+            childs = self.edge_child[root]
+            steps = self.edge_step[root]
+            for k in range(len(parents)):
+                parent = parents[k]
+                child = childs[k]
+                step = steps[k]
+                tree.edges.append(
+                    TreeEdge(parent, child, step, self.route_of(root, k))
+                )
+                tree.added_step[child] = step
+                tree.order.append(child)
+                tree._parent[child] = parent
+                tree._children.setdefault(parent, []).append(child)
+            trees.append(tree)
+        return trees
+
+
+def build_forest(
+    topology: Topology, priority: str = "root-id"
+) -> FlatForest:
+    """Run Algorithm 1's construction loop (lines 1-15) into flat arrays.
+
+    Exactly the sequence of allocations :func:`build_trees` historically
+    produced — same turn order, same parent probe order, same capacity
+    consumption — recorded into a :class:`FlatForest` instead of
+    :class:`SpanningTree` objects.  Two structural observations make the
+    probe loop cheap without changing its outcome:
+
+    * Line 9's parent set is fixed for the whole step (children added
+      *during* a step never qualify), so each tree scans a length
+      snapshot of its addition order rather than a fresh list copy.
+    * ``find_child`` is monotone within a step — capacity and eligible
+      sets only shrink — and a turn always probes parents in snapshot
+      order, failing (and thereby permanently exhausting) every parent
+      before the one that succeeds.  The exhausted set is therefore
+      always a *prefix* of the snapshot, so a per-``(tree, limit)``
+      cursor replaces the seed implementation's per-parent dead-set
+      membership tests.
     """
     if priority not in TREE_PRIORITIES:
         raise ValueError(
             "unknown priority %r; choose from %s" % (priority, TREE_PRIORITIES)
         )
     n = topology.num_nodes
-    trees = [SpanningTree(root=node, num_nodes=n) for node in topology.nodes]
-    # One membership test per tree, created once: reads the live
-    # ``added_step`` dict so it stays correct as children join.
-    eligibility = {
-        tree.root: (lambda c, _m=tree.added_step: c not in _m) for tree in trees
-    }
+    typecode = "h" if topology.num_vertices <= 0x7FFF else "i"
+    switched = topology.num_switches > 0
+    forest = FlatForest(n, typecode, switched=switched)
+    orders = forest.orders
+    e_parent = forest.edge_parent
+    e_child = forest.edge_child
+    e_step = forest.edge_step
+    e_routes = forest.edge_routes
+    # One membership byte table per tree: stays correct as children join.
+    member = [bytearray(n) for _ in range(n)]
+    for root in range(n):
+        member[root][root] = 1
+    counts = [1] * n  # members per tree (root included)
     most_remaining = priority == "most-remaining"
     version = 0  # bumped on every add; lets the sorted turn order be reused
+    complete_trees = 0
     step = 0
-    while not all(tree.complete for tree in trees):
+    roots = range(n)
+
+    direct = not switched and (
+        topology.allocation_graph().route_limits() == (None,)
+    )
+    if direct:
+        # Array-backed adjacency for the direct fast path: the
+        # preference-ordered neighbor/link-id lists of every node,
+        # concatenated, plus the per-link capacity template.  The per-step
+        # allocator state collapses to one flat int list.
+        # Plain lists, not typed arrays: these tables are O(links) small,
+        # and a list fetch returns the stored int object while an ``array``
+        # fetch boxes a fresh one — a ~3x difference on the probe loop.
+        id_of: Dict[LinkKey, int] = {}
+        cap_template: List[int] = []
+        pref_off = [0] * (n + 1)
+        pref_child: List[int] = []
+        pref_link: List[int] = []
+        max_deg = 0
+        for p in range(n):
+            deg = 0
+            for c in topology.neighbor_preference_cached(p):
+                key = (p, c)
+                lid = id_of.get(key)
+                if lid is None:
+                    lid = id_of[key] = len(cap_template)
+                    cap_template.append(topology.link(p, c).capacity)
+                pref_child.append(c)
+                pref_link.append(lid)
+                deg += 1
+            pref_off[p + 1] = len(pref_child)
+            if deg > max_deg:
+                max_deg = deg
+        direct = max_deg <= 16  # mask fits 'H'; real grids are degree <= 6
+    if direct:
+        step_budget = sum(cap_template)
+        # An entry whose child has *joined* the tree can never yield again
+        # — membership only grows, so member-deadness is permanent across
+        # steps, unlike capacity exhaustion which resets.  A bitmask of
+        # dead entries per (tree, parent) plus a table mapping mask ->
+        # live entry positions makes every member entry cost one skip
+        # *ever* instead of one per step; parents with a full mask are
+        # dead outright, and a dead-prefix bound over the (breadth-first)
+        # addition order jumps the scan straight to the active frontier.
+        # Without this the construction is O(n^3)-flavored and 2k+ nodes
+        # are out of reach.
+        full_mask = (1 << max_deg) - 1
+        bit = [1 << k for k in range(max_deg)]
+        live_ks = [
+            tuple(k for k in range(max_deg) if not mask & (1 << k))
+            for mask in range(full_mask + 1)
+        ]
+        mcode = "B" if full_mask <= 0xFF else "H"
+        mask_template = array(
+            mcode,
+            [
+                full_mask ^ ((1 << (pref_off[p + 1] - pref_off[p])) - 1)
+                for p in range(n)
+            ],
+        )
+        masks = [array(mcode, mask_template) for _ in range(n)]
+        perm_pi = [0] * n
+    else:
+        eligibility = [
+            (lambda c, _m=member[root]: not _m[c]) for root in range(n)
+        ]
+
+    while complete_trees < n:
         step += 1
-        alloc = topology.allocation_graph()  # fresh G'(V', E') for this step
-        # Line 9's parent set is fixed for the whole step: every current
-        # member was added in an earlier step, and children added *during*
-        # this step never qualify.  Snapshot it once instead of re-deriving
-        # it per tree turn (the seed implementation's O(n) rescan).
-        step_parents = {tree.root: list(tree.order) for tree in trees}
-        # The allocator advertises which route-length limits are worth
-        # probing: (2, 3, None) on switch-based networks, a single
-        # unbounded pass on direct networks where every candidate is one
-        # link and the ladder rungs all run the identical scan.
-        limits = alloc.route_limits()
-        # find_child is monotone within a step — capacity only shrinks and
-        # eligible sets only shrink — so a (tree, limit, parent) probe that
-        # failed once can never succeed later in the same step.  Memoizing
-        # failures (and trees whose turn came up empty) skips exactly the
-        # probes the seed implementation repeats fruitlessly each pass.
-        exhausted = {
-            tree.root: {limit: set() for limit in limits} for tree in trees
-        }
-        stalled = set()
-        sorted_order: List[SpanningTree] = []
+        snap_len = counts[:]  # per-tree parent snapshot for this step
+        stalled = bytearray(n)
+        sorted_order: List[int] = []
         sorted_version = -1
-        progress = True
-        while progress:
-            progress = False
-            if most_remaining:
-                if sorted_version != version:
-                    sorted_order = sorted(
-                        trees, key=lambda t: (len(t.members), t.root)
-                    )
-                    sorted_version = version
-                turn_order = sorted_order
-            else:
-                turn_order = trees  # ascending root id (line 8)
-            for tree in turn_order:
-                if tree.complete or tree.root in stalled:
-                    continue
-                eligible = eligibility[tree.root]
-                parents = step_parents[tree.root]
-                dead = exhausted[tree.root]
-                found = None
-                # Prefer the shortest connection available anywhere in the
-                # tree: same-switch (2 links), then one inter-switch hop
-                # (3), then unbounded.  On direct networks every candidate
-                # is one link, so only the last pass matters.  This is the
-                # "check close neighbors first" refinement of §III-C3 and
-                # keeps expensive multi-switch routes for when nothing
-                # closer exists, preserving per-step link budget.
-                for limit in limits:
-                    dead_at_limit = dead[limit]
-                    for parent in parents:  # line 9
-                        if parent in dead_at_limit:
+        if direct:
+            # One C-level copy of the capacity ints — the step's G'(V', E').
+            cap = cap_template.copy()
+            budget = step_budget
+            # Resume point per tree: index into the parent snapshot plus an
+            # absolute position in the concatenated preference lists (-1 =
+            # start of the current parent's list).  Within a step a neighbor
+            # rejected once stays rejected — capacity only shrinks and
+            # membership only grows — so the scan never needs to revisit
+            # anything left of the resume point: the probe outcome is
+            # identical to rescanning from the start of the snapshot.
+            par_idx = [-1] * n
+            resume_k = [0] * n
+            saturated = False
+            progress = True
+            while progress and not saturated:
+                progress = False
+                if most_remaining:
+                    if sorted_version != version:
+                        sorted_order = sorted(
+                            roots, key=lambda r: (counts[r], r)
+                        )
+                        sorted_version = version
+                    turn_order = sorted_order
+                else:
+                    turn_order = roots  # ascending root id (line 8)
+                for root in turn_order:
+                    if counts[root] == n or stalled[root]:
+                        continue
+                    mem = member[root]
+                    pmask = masks[root]
+                    order = orders[root]
+                    bound = snap_len[root]
+                    pi = par_idx[root]
+                    if pi < 0:
+                        pi = perm_pi[root]
+                    rk = resume_k[root]
+                    found = -1
+                    parent = -1
+                    while pi < bound:  # line 9
+                        parent = order[pi]
+                        mask = pmask[parent]
+                        if mask == full_mask:  # no live entries, ever
+                            if pi == perm_pi[root]:
+                                perm_pi[root] = pi + 1
+                            pi += 1
+                            rk = 0
                             continue
-                        found = alloc.find_child(parent, eligible, limit)
+                        off = pref_off[parent]
+                        for k in live_ks[mask]:  # line 10
+                            if k < rk:  # already probed this step
+                                continue
+                            c = pref_child[off + k]
+                            if mem[c]:
+                                mask |= bit[k]  # dead for the whole build
+                                continue
+                            lid = pref_link[off + k]
+                            if cap[lid] > 0:
+                                cap[lid] -= 1
+                                found = c
+                                rk = k + 1
+                                break
+                            # Capacity block only — retry next step.
+                        pmask[parent] = mask
+                        if found >= 0:
+                            break
+                        # Parent exhausted for this step; a full mask means
+                        # it is dead for the rest of the build.
+                        if mask == full_mask and pi == perm_pi[root]:
+                            pp = pi + 1
+                            cnt = counts[root]
+                            while pp < cnt and pmask[order[pp]] == full_mask:
+                                pp += 1
+                            perm_pi[root] = pp
+                        pi += 1
+                        rk = 0
+                    par_idx[root] = pi
+                    resume_k[root] = rk
+                    if found >= 0:
+                        e_parent[root].append(parent)
+                        e_child[root].append(found)
+                        e_step[root].append(step)
+                        mem[found] = 1
+                        order.append(found)
+                        counts[root] += 1
+                        if counts[root] == n:
+                            complete_trees += 1
+                        version += 1
+                        progress = True
+                        budget -= 1
+                        if budget == 0:
+                            # Every capacity unit of this step is consumed:
+                            # no tree can connect another child, so further
+                            # probing (and the per-tree stall proof) is
+                            # pointless — identical outcome, skipped work.
+                            saturated = True
+                            break
+                    else:
+                        stalled[root] = 1  # cannot reconnect this step
+        else:
+            alloc = topology.allocation_graph()  # fresh G' for this step
+            find_child = alloc.find_child
+            # The allocator advertises which route-length limits are worth
+            # probing: (2, 3, None) on switch-based networks — the
+            # same-switch / one-inter-switch-hop / unbounded ladder of
+            # §III-C3 ("check close neighbors first").
+            limits = alloc.route_limits()
+            num_limits = len(limits)
+            # Exhausted-prefix cursor per (tree, limit); see the docstring.
+            cursors = [[0] * num_limits for _ in roots]
+            progress = True
+            while progress:
+                progress = False
+                if most_remaining:
+                    if sorted_version != version:
+                        sorted_order = sorted(
+                            roots, key=lambda r: (counts[r], r)
+                        )
+                        sorted_version = version
+                    turn_order = sorted_order
+                else:
+                    turn_order = roots  # ascending root id (line 8)
+                for root in turn_order:
+                    if counts[root] == n or stalled[root]:
+                        continue
+                    eligible = eligibility[root]
+                    order = orders[root]
+                    bound = snap_len[root]
+                    cur = cursors[root]
+                    found = None
+                    for li in range(num_limits):
+                        limit = limits[li]
+                        i = cur[li]
+                        while i < bound:  # line 9
+                            found = find_child(order[i], eligible, limit)
+                            if found is not None:
+                                break
+                            i += 1
+                        cur[li] = i
                         if found is not None:
                             break
-                        dead_at_limit.add(parent)
                     if found is not None:
-                        break
-                if found is not None:
-                    tree.add(found, step)
-                    version += 1
-                    progress = True
-                else:
-                    stalled.add(tree.root)  # cannot reconnect this step
+                        child = found.child
+                        e_parent[root].append(found.parent)
+                        e_child[root].append(child)
+                        e_step[root].append(step)
+                        if e_routes is not None:
+                            e_routes[root].append(tuple(found.route))
+                        member[root][child] = 1
+                        orders[root].append(child)
+                        counts[root] += 1
+                        if counts[root] == n:
+                            complete_trees += 1
+                        version += 1
+                        progress = True
+                    else:
+                        stalled[root] = 1  # cannot reconnect this step
         if step > 4 * n:  # safety net; never triggered on connected graphs
             raise RuntimeError("MultiTree construction did not converge")
+    forest.tot_t = step
     registry = get_registry()
     if registry is not None:
         labels = {"topology": topology.name, "priority": priority}
         registry.counter("multitree.builds", **labels).inc()
         registry.gauge("multitree.build_steps", **labels).set(step)
-        registry.gauge("multitree.trees", **labels).set(len(trees))
+        registry.gauge("multitree.trees", **labels).set(n)
         depth_hist = registry.histogram("multitree.tree_depth", **labels)
         branch_hist = registry.histogram("multitree.tree_branching", **labels)
-        for tree in trees:
-            depth_hist.observe(tree.depth())
-            branch_hist.observe(
-                max(
-                    (len(kids) for kids in tree._children.values()),
-                    default=0,
-                )
-            )
-    return trees, step
+        for root in roots:
+            depth_hist.observe(forest.depth(root))
+            parents = e_parent[root]
+            branching = 0
+            if parents:
+                fanout: Dict[int, int] = {}
+                for parent in parents:
+                    fanout[parent] = fanout.get(parent, 0) + 1
+                branching = max(fanout.values())
+            branch_hist.observe(branching)
+    return forest
+
+
+def build_trees(
+    topology: Topology, priority: str = "root-id"
+) -> Tuple[List[SpanningTree], int]:
+    """Run Algorithm 1's construction loop (lines 1-15).
+
+    Returns the |V| spanning trees (edge steps = all-gather time steps) and
+    the total number of time steps ``tot_t``.  The construction itself
+    runs in the flat-array form (:func:`build_forest`); this wrapper
+    materializes the object forest for the schedule-IR and rendering
+    paths.  Large-N callers (the streaming compiler) stay on the flat
+    form and never pay for the objects.
+    """
+    forest = build_forest(topology, priority)
+    return forest.to_trees(), forest.tot_t
 
 
 def _reverse_route(route: Tuple[LinkKey, ...]) -> Tuple[LinkKey, ...]:

@@ -152,6 +152,16 @@ class VecPlan:
             dep_src_pos, dep_dst = _gather_segments(dd_off, dd_val, idx)
             self.steps.append(_StepPlan(idx, hops, dep_src_pos, dep_dst))
 
+    def class_hops(self, frac_idx: np.ndarray, num_classes: int) -> np.ndarray:
+        """Total hop count per wire class."""
+        if getattr(frac_idx, "strides", None) == (0,):
+            out = np.zeros(num_classes, dtype=np.float64)
+            out[int(frac_idx[0])] = float(np.sum(self.route_len))
+            return out
+        return np.bincount(
+            frac_idx, weights=self.route_len, minlength=num_classes
+        )
+
 
 def build_plan(
     groups: Sequence[Sequence[int]],
@@ -253,6 +263,169 @@ def run_plan(
             np.maximum.at(ready, step.dep_dst, wake)
 
     timings = (inject_m, deliver_m, ideal_m) if keep_timings else None
+    return valid, finish, busy, qmax, timings
+
+
+class RangePlan:
+    """Zero-copy vectorization plan for streaming-compiled schedules.
+
+    A streaming-compiled :class:`CompiledSchedule` stores its ops sorted
+    by step in numpy columns, so each lockstep group is a *contiguous
+    index range* and every per-step input of the vectorized engine is a
+    **view** of the compiled columns — no per-step index/selector/dep
+    arrays are materialized, which is what keeps an 8k-node schedule
+    (134M ops) inside the scale-out memory envelope where
+    :class:`VecPlan`'s gathered arrays alone would cost several GiB.
+
+    Restricted to single-hop routes (direct networks) with dependencies
+    that point strictly backward across the step ranges; anything else
+    declines with a reason and the caller falls back to the generic
+    plan or the scalar ladder, exactly like :class:`VecPlan`.
+    """
+
+    __slots__ = ("ok", "reason", "ranges", "num_messages", "num_links",
+                 "link_ids", "dep_off", "dep_val")
+
+    def __init__(self, compiled, table: LinkTable) -> None:
+        steps = np.asarray(compiled.steps)
+        n = len(steps)
+        self.num_messages = n
+        self.num_links = len(table.keys)
+        self.ok = False
+        self.reason: Optional[str] = None
+        self.ranges: List[Tuple[int, int, int]] = []
+        self.link_ids = None
+        self.dep_off = None
+        self.dep_val = None
+        try:
+            remap = np.asarray(
+                [table.id_of[key] for key in compiled.links], dtype=np.intp
+            )
+        except KeyError:
+            self.reason = "unknown-link"
+            return
+        link_ids = remap[np.asarray(compiled.route_val)]
+        dep_off = np.asarray(compiled.dep_off)
+        dep_val = np.asarray(compiled.dep_val)
+        _bw, _lat, capacity = table.arrays()
+        # Contiguous step ranges over the sorted steps column.
+        bounds = np.searchsorted(
+            steps, np.arange(1, compiled.num_steps + 2), side="left"
+        )
+        for step in range(1, compiled.num_steps + 1):
+            lo = int(bounds[step - 1])
+            hi = int(bounds[step])
+            if lo == hi:
+                continue
+            li = link_ids[lo:hi]
+            if len(np.unique(li)) != hi - lo:
+                self.reason = "link-disjointness"
+                return
+            if (capacity[li] != 1).any():
+                self.reason = "multi-channel"
+                return
+            dv = dep_val[dep_off[lo]:dep_off[hi]]
+            if len(dv) and int(dv.max()) >= lo:
+                # A dependency inside (or ahead of) its own step: the
+                # pull-model wake below would read a not-yet-delivered
+                # row, so this layout is not range-plannable.
+                self.reason = "step-overlap"
+                return
+            self.ranges.append((step, lo, hi))
+        self.link_ids = link_ids
+        self.dep_off = dep_off
+        self.dep_val = dep_val
+        self.ok = True
+
+    def class_hops(self, frac_idx: np.ndarray, num_classes: int) -> np.ndarray:
+        """Total hop count per wire class (every route has one hop)."""
+        if getattr(frac_idx, "strides", None) == (0,):
+            out = np.zeros(num_classes, dtype=np.float64)
+            out[int(frac_idx[0])] = float(self.num_messages)
+            return out
+        return np.bincount(
+            frac_idx, minlength=num_classes
+        ).astype(np.float64)
+
+
+def run_range_plan(
+    plan: RangePlan,
+    table: LinkTable,
+    wire_table: np.ndarray,
+    wire_idx: np.ndarray,
+    ready: np.ndarray,
+    overhead: np.ndarray,
+    keep_timings: bool,
+):
+    """:func:`run_plan` over contiguous step ranges, in column views.
+
+    Bit-identical outcomes: the arithmetic per step is the same ops in
+    the same order; the only difference is *pull*-model dependency
+    wake-up (each step gathers its own deps' delivery times via a
+    segmented maximum) instead of run_plan's push-model scatter, which
+    computes the identical maxima because every dependency points to a
+    strictly earlier range.  With ``keep_timings`` off, one
+    ``(num_messages, sizes)`` matrix carries ready-then-delivery values
+    in place — the dominant allocation at 8k-node scale.
+    """
+    n, num_sizes = ready.shape
+    bw, lat, _cap = table.arrays()
+    avail = np.zeros((plan.num_links, num_sizes), dtype=np.float64)
+    busy = np.zeros_like(avail)
+    finish = np.zeros(num_sizes, dtype=np.float64)
+    qmax = np.full(num_sizes, -np.inf, dtype=np.float64)
+    valid = np.ones(num_sizes, dtype=bool)
+    prev_max = np.full(num_sizes, -np.inf, dtype=np.float64)
+    dep_off = plan.dep_off
+    dep_val = plan.dep_val
+    link_ids = plan.link_ids
+    if keep_timings:
+        deliver_all = np.zeros((n, num_sizes), dtype=np.float64)
+        inject_m = np.zeros((n, num_sizes), dtype=np.float64)
+        ideal_m = np.zeros((n, num_sizes), dtype=np.float64)
+    else:
+        deliver_all = ready  # rows become delivery times once processed
+
+    for _step, lo, hi in plan.ranges:
+        # Dependency wake-up (pull model): row i's ready time is the max
+        # of its gate and its deps' delivery times plus overhead.
+        d0 = int(dep_off[lo])
+        d1 = int(dep_off[hi])
+        if d1 > d0:
+            seg = dep_off[lo:hi].astype(np.intp) - d0
+            counts = np.diff(np.append(seg, d1 - d0))
+            gathered = deliver_all[dep_val[d0:d1]]
+            has = counts > 0
+            red = np.maximum.reduceat(
+                gathered, np.minimum(seg, d1 - d0 - 1)
+            )
+            rows = lo + np.flatnonzero(has)
+            wake = red[has] + overhead[lo:hi][has][:, None]
+            ready[rows] = np.maximum(ready[rows], wake)
+        rd = ready[lo:hi]
+        valid &= rd.min(axis=0) > prev_max
+        prev_max = rd.max(axis=0)
+
+        li = link_ids[lo:hi]
+        ser = wire_table[wire_idx[lo:hi]] / bw[li][:, None]
+        grant = np.maximum(rd, avail[li])
+        avail[li] = grant + ser
+        busy[li] += ser
+        head = grant + lat[li][:, None]
+        deliver = head + ser
+        ideal = rd + lat[li][:, None] + ser
+        finish = np.maximum(finish, deliver.max(axis=0))
+        qmax = np.maximum(qmax, (deliver - ideal).max(axis=0))
+        if keep_timings:
+            inject_m[lo:hi] = grant
+            deliver_all[lo:hi] = deliver
+            ideal_m[lo:hi] = ideal
+        else:
+            deliver_all[lo:hi] = deliver
+
+    timings = (
+        (inject_m, deliver_all, ideal_m) if keep_timings else None
+    )
     return valid, finish, busy, qmax, timings
 
 
@@ -444,9 +617,7 @@ def _run_batch(
         # frac * data_bytes: the same IEEE multiply the scalar path does.
         payload_table = frac_uniq[:, None] * sizes_arr[None, :]
         wire, exact = wire_classes(flow_control, payload_table)
-        hops_per_class = np.bincount(
-            frac_idx, weights=plan.route_len, minlength=len(frac_uniq)
-        )
+        hops_per_class = plan.class_hops(frac_idx, len(frac_uniq))
         totals, exact = exact_wire_totals(wire, exact, hops_per_class)
         # Per-size lockstep gates, by the same scalar arithmetic the
         # injector uses; assembled into the (num_messages, sizes) matrix.
@@ -454,10 +625,15 @@ def _run_batch(
         for j, size in enumerate(sizes):
             for step, gate in compiled.step_gates(size, flow_control).items():
                 gate_mat[step, j] = gate
-        steps_arr = np.asarray(compiled.steps, dtype=np.intp)
+        steps_arr = np.asarray(compiled.steps)
         ready = gate_mat[steps_arr]
-        overhead = np.full(plan.num_messages, scheduling_overhead)
-        valid, finish, busy, qmax, timings = run_plan(
+        # Read-only broadcast: at 8k-node scale a materialized per-op
+        # overhead vector is pure waste (the value is one scalar).
+        overhead = np.broadcast_to(
+            np.float64(scheduling_overhead), (plan.num_messages,)
+        )
+        runner = run_range_plan if isinstance(plan, RangePlan) else run_plan
+        valid, finish, busy, qmax, timings = runner(
             plan, table, wire, frac_idx, ready, overhead,
             keep_timings=keep_timings,
         )
@@ -534,43 +710,74 @@ def _run_batch(
     )
 
 
-def _compiled_plan(compiled) -> Optional[VecPlan]:
-    """The memoized :class:`VecPlan` of a compiled schedule.
+def _is_array_column(col) -> bool:
+    """Column stored as (or lazily materializing to) a numpy array."""
+    return not isinstance(col, list) and (
+        isinstance(col, np.ndarray) or hasattr(col, "__array__")
+    )
 
-    Returns ``None`` (and memoizes the decline) when a route uses a link
-    the topology does not declare.
+
+def _try_range_plan(compiled, table: LinkTable) -> Optional[RangePlan]:
+    """A :class:`RangePlan` when the schedule has the streaming layout.
+
+    Qualification is structural — numpy columns, single-hop routes, ops
+    sorted by step — so it holds for streaming-compiled and
+    artifact-loaded schedules without any metadata marker (metadata must
+    stay dict-equal to the object-path compiler).  ``None`` means the
+    layout does not qualify and the generic :class:`VecPlan` path should
+    be used instead; a returned plan with ``ok=False`` is a genuine
+    decline (the scalar ladder takes over, which is always exact).
+    """
+    cols = (compiled.steps, compiled.route_off, compiled.route_val,
+            compiled.dep_off, compiled.dep_val)
+    if not all(_is_array_column(col) for col in cols):
+        return None
+    steps = np.asarray(compiled.steps)
+    if not len(steps):
+        return None
+    route_off = np.asarray(compiled.route_off)
+    if int(route_off[-1]) != len(steps):
+        return None  # multi-hop routes: the generic plan gathers those
+    if (np.diff(steps) < 0).any():
+        return None
+    return RangePlan(compiled, table)
+
+
+def _compiled_plan(compiled):
+    """The memoized vectorization plan of a compiled schedule.
+
+    A :class:`RangePlan` for streaming-layout schedules, a
+    :class:`VecPlan` otherwise.  Returns ``None`` (and memoizes the
+    decline) when a route uses a link the topology does not declare.
     """
     plan = compiled._vec_plan
     if plan is None:
         from ..network.lockstep_engine import dep_structure as _dep_structure
 
         table = link_table(compiled.topology)
-        try:
-            route_val = compiled._table_route_val(table)
-        except KeyError:
-            compiled._vec_plan = False
-            return None
-        dep_struct = compiled._dep_struct
-        if dep_struct is None:
-            dep_struct = compiled._dep_struct = _dep_structure(
-                compiled.dep_off, compiled.dep_val
+        plan = _try_range_plan(compiled, table)
+        if plan is None:
+            try:
+                route_val = compiled._table_route_val(table)
+            except KeyError:
+                compiled._vec_plan = False
+                return None
+            dep_struct = compiled._dep_struct
+            if dep_struct is None:
+                dep_struct = compiled._dep_struct = _dep_structure(
+                    compiled.dep_off, compiled.dep_val
+                )
+            plan = build_plan(
+                compiled._step_groups(), compiled.route_off, route_val,
+                dep_struct, table,
             )
-        plan = build_plan(
-            compiled._step_groups(), compiled.route_off, route_val,
-            dep_struct, table,
-        )
         compiled._vec_plan = plan
     return plan if plan is not False else None
 
 
 def _compiled_wire_classes(compiled) -> Tuple[np.ndarray, np.ndarray]:
     """Unique chunk fractions and each message's class index, memoized."""
-    cached = compiled._wire_classes
-    if cached is None:
-        frac_arr = np.asarray(compiled.frac_floats, dtype=np.float64)
-        uniq, idx = np.unique(frac_arr, return_inverse=True)
-        cached = compiled._wire_classes = (uniq, idx.astype(np.intp))
-    return cached
+    return compiled.frac_classes()
 
 
 def run_lockstep_vec(

@@ -277,37 +277,57 @@ class PredictionService:
             if item is None:  # shutdown sentinel
                 self._queue.task_done()
                 return
-            scenario, carrier = item
-            key, fingerprint = self.identity(scenario)
-            start = time.perf_counter()
-            try:
-                # The carrier links this warm-up back to the request that
-                # enqueued it: the worker's spans join that trace even
-                # though the request thread answered 202 long ago.
-                with obs.attached(carrier):
-                    with obs.span(
-                        "serve.warm",
-                        scenario=str(scenario),
-                        fingerprint=fingerprint,
-                    ):
-                        self._compute(scenario, key)
-                self.registry.counter("serve.compiled").inc()
-                self.registry.histogram("serve.compile_time").observe(
-                    time.perf_counter() - start
-                )
-            except Exception as error:
-                # A bad-but-parseable scenario (e.g. a variant the
-                # topology cannot run) must not kill the worker; the key
-                # is remembered as failed so /predict and /plan answer
-                # deterministically instead of re-warming forever.
-                with self._lock:
-                    self._failed[key] = str(error)
-                self.registry.counter("serve.compile_errors").inc()
-                self._log_event("compile_error", scenario, str(error))
-            finally:
-                with self._lock:
-                    self._inflight.discard(key)
-                self._queue.task_done()
+            # Drain the burst under one batched cache context: a /plan
+            # warm-up enqueues a whole size bucket at once, and
+            # coalescing the per-point saves turns the bucket fill into
+            # a single atomic cache write instead of one per size.
+            stop = False
+            with self.cache.batched():
+                while True:
+                    self._process_warm(item)
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is None:  # shutdown sentinel mid-burst
+                        self._queue.task_done()
+                        stop = True
+                        break
+            if stop:
+                return
+
+    def _process_warm(self, item) -> None:
+        scenario, carrier = item
+        key, fingerprint = self.identity(scenario)
+        start = time.perf_counter()
+        try:
+            # The carrier links this warm-up back to the request that
+            # enqueued it: the worker's spans join that trace even
+            # though the request thread answered 202 long ago.
+            with obs.attached(carrier):
+                with obs.span(
+                    "serve.warm",
+                    scenario=str(scenario),
+                    fingerprint=fingerprint,
+                ):
+                    self._compute(scenario, key)
+            self.registry.counter("serve.compiled").inc()
+            self.registry.histogram("serve.compile_time").observe(
+                time.perf_counter() - start
+            )
+        except Exception as error:
+            # A bad-but-parseable scenario (e.g. a variant the
+            # topology cannot run) must not kill the worker; the key
+            # is remembered as failed so /predict and /plan answer
+            # deterministically instead of re-warming forever.
+            with self._lock:
+                self._failed[key] = str(error)
+            self.registry.counter("serve.compile_errors").inc()
+            self._log_event("compile_error", scenario, str(error))
+        finally:
+            with self._lock:
+                self._inflight.discard(key)
+            self._queue.task_done()
 
     def _log_event(self, kind: str, scenario: Scenario, detail: str) -> None:
         if self.request_log is not None:

@@ -29,7 +29,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import warnings
+from contextlib import contextmanager
 from typing import Dict, Optional
 
 from ..network.flowcontrol import FlowControl
@@ -86,6 +88,9 @@ class PredictionCache:
         self.misses = 0
         self._entries: Dict[str, Dict[str, float]] = self._read(path)
         self._dirty = False
+        # Batching state is per-thread: serve workers share one cache,
+        # and one worker's open batch must not swallow another's save.
+        self._batch = threading.local()
 
     @staticmethod
     def _read(path: str) -> Dict[str, Dict[str, float]]:
@@ -151,8 +156,33 @@ class PredictionCache:
     def entries(self) -> Dict[str, Dict[str, float]]:
         return dict(self._entries)
 
+    @contextmanager
+    def batched(self):
+        """Coalesce saves: ``save()`` calls inside defer to block exit.
+
+        A multi-point fill — the sweep runner's one-pass size series, a
+        serve warm-up draining a whole plan bucket — otherwise pays one
+        read-merge-replace of the JSON file per point.  Inside a
+        ``batched()`` block those saves are recorded and performed once,
+        atomically, when the outermost block exits (also on error, so
+        whatever was computed before a failure still persists).
+        Re-entrant, and scoped to the calling thread.
+        """
+        depth = getattr(self._batch, "depth", 0)
+        self._batch.depth = depth + 1
+        try:
+            yield self
+        finally:
+            self._batch.depth = depth
+            if depth == 0 and getattr(self._batch, "deferred", False):
+                self._batch.deferred = False
+                self.save()
+
     def save(self) -> None:
         """Atomically persist, merging with whatever is on disk now."""
+        if getattr(self._batch, "depth", 0):
+            self._batch.deferred = True
+            return
         if not self._dirty:
             return
         on_disk = self._read(self.path)

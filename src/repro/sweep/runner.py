@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -513,10 +514,14 @@ def _run_sweep(
         cache = PredictionCache(cache_path) if cache_path else None
         artifacts = ArtifactStore(artifacts_path) if artifacts_path else None
         sweeps = []
-        for job in jobs:
-            t0 = time.perf_counter()
-            sweeps.append(run_job(job, cache, artifacts))
-            stats.job_times_s.append(time.perf_counter() - t0)
+        # One batched cache context for the whole serial run: any saves a
+        # job triggers coalesce into the single atomic write below.
+        batch = cache.batched() if cache is not None else nullcontext()
+        with batch:
+            for job in jobs:
+                t0 = time.perf_counter()
+                sweeps.append(run_job(job, cache, artifacts))
+                stats.job_times_s.append(time.perf_counter() - t0)
         if cache is not None:
             stats.cache_hits = cache.hits
             stats.cache_misses = cache.misses

@@ -57,7 +57,15 @@ def topology_fingerprint(topology: "Topology") -> str:
     ``(src, dst, bandwidth, latency, capacity)``.  Both the prediction
     cache (:mod:`repro.sweep.cache`) and the compiled-schedule artifact
     store (:mod:`repro.sweep.artifacts`) key on it.
+
+    Memoized per instance: topologies are immutable after construction,
+    and every artifact/cache lookup keys on the fingerprint — at 8k+
+    nodes re-walking ~50k sorted links per lookup dominates the lookup
+    itself.
     """
+    cached = topology.__dict__.get("_fingerprint_cache")
+    if cached is not None:
+        return cached
     hasher = hashlib.sha256()
     hasher.update(
         ("%s|%d|%d" % (topology.name, topology.num_nodes, topology.num_switches)
@@ -70,7 +78,9 @@ def topology_fingerprint(topology: "Topology") -> str:
                 spec.src, spec.dst, spec.bandwidth, spec.latency, spec.capacity
             )).encode()
         )
-    return hasher.hexdigest()[:16]
+    digest = hasher.hexdigest()[:16]
+    topology.__dict__["_fingerprint_cache"] = digest
+    return digest
 
 
 class Topology:
@@ -162,8 +172,32 @@ class Topology:
         return result
 
     def total_link_capacity(self) -> int:
-        """Total number of directed unit links (multigraph edges)."""
-        return sum(spec.capacity for spec in self._links.values())
+        """Total number of directed unit links (multigraph edges).
+
+        Memoized per instance (links are immutable after construction);
+        metrics and bench reporting call this per run, and at large N the
+        full-dict sum is measurable.
+        """
+        total = self.__dict__.get("_total_capacity_cache")
+        if total is None:
+            total = sum(spec.capacity for spec in self._links.values())
+            self.__dict__["_total_capacity_cache"] = total
+        return total
+
+    def capacity_template(self) -> Dict[LinkKey, int]:
+        """Fresh ``{link key: capacity}`` dict for one allocation step.
+
+        :class:`AllocationGraph` needs a mutable capacity snapshot per
+        MultiTree time step.  Deriving it from the :class:`LinkSpec`
+        objects costs one attribute walk per link per step; copying a
+        cached plain-int template is a single C-level ``dict`` copy.
+        """
+        template = self.__dict__.get("_capacity_template")
+        if template is None:
+            template = self.__dict__["_capacity_template"] = {
+                key: spec.capacity for key, spec in self._links.items()
+            }
+        return dict(template)
 
     # -- routing ---------------------------------------------------------------
 
@@ -248,9 +282,10 @@ class AllocationGraph:
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
-        self._capacity: Dict[LinkKey, int] = {
-            key: spec.capacity for key, spec in topology.links.items()
-        }
+        # One C-level dict copy of the cached template instead of a
+        # whole-graph LinkSpec walk (plus the ``links`` property's dict
+        # copy) per time step — this runs once per MultiTree step.
+        self._capacity: Dict[LinkKey, int] = topology.capacity_template()
 
     def remaining(self, key: LinkKey) -> int:
         return self._capacity.get(key, 0)

@@ -1,0 +1,152 @@
+"""Three-level Fat-Tree topology (pod/aggregation/core scale-out tier).
+
+The paper's switched instances stop at two levels (§V-A); clusters past a
+few hundred nodes add a third: ``num_pods`` pods, each holding
+``leaves_per_pod`` leaf switches of ``nodes_per_leaf`` compute nodes and
+``num_spines`` aggregation (spine) switches, with ``num_cores`` core
+switches joining the pods.  Defaults keep full bisection bandwidth at
+every level (``num_spines = nodes_per_leaf``, ``num_cores = leaves_per_pod
+* num_spines``), mirroring how the two-level class defaults its spine
+count.
+
+Vertex numbering extends the two-level scheme: nodes ``0..N-1``, leaf
+switches next, then pod spines (grouped by pod), then cores.  Routing is
+deterministic up-down; ties are broken by destination index — spine
+``dst % num_spines`` inside a pod, core ``dst % num_cores`` across pods —
+the same static destination-hashed spreading the two-level tree uses, so
+simultaneous flows to distinct destinations fan out across the fabric.
+
+MultiTree construction runs on the generic switch-BFS allocator
+(:class:`IndirectAllocationGraph`); nothing in the allocator is
+level-aware, the deeper switch graph only widens its frontier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    IndirectAllocationGraph,
+    LinkKey,
+    Topology,
+)
+
+
+class FatTree3(Topology):
+    def __init__(
+        self,
+        num_pods: int,
+        leaves_per_pod: int,
+        nodes_per_leaf: int,
+        num_spines: int = 0,
+        num_cores: int = 0,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+    ) -> None:
+        if num_pods < 1 or leaves_per_pod < 1 or nodes_per_leaf < 1:
+            raise ValueError(
+                "3-level fat-tree needs >=1 pod, leaf per pod and node per"
+                " leaf"
+            )
+        num_spines = num_spines or nodes_per_leaf
+        num_cores = num_cores or leaves_per_pod * num_spines
+        num_nodes = num_pods * leaves_per_pod * nodes_per_leaf
+        super().__init__(num_nodes, "fattree3-%dn" % num_nodes)
+        self.num_pods = num_pods
+        self.leaves_per_pod = leaves_per_pod
+        self.nodes_per_leaf = nodes_per_leaf
+        self.num_spines = num_spines
+        self.num_cores = num_cores
+        for node in self.nodes:
+            self._add_bidirectional(node, self.leaf_of(node), bandwidth, latency)
+        for pod in range(num_pods):
+            for leaf_idx in range(leaves_per_pod):
+                leaf = self._leaf_vertex(pod * leaves_per_pod + leaf_idx)
+                for spine_idx in range(num_spines):
+                    self._add_bidirectional(
+                        leaf,
+                        self._spine_vertex(pod, spine_idx),
+                        bandwidth,
+                        latency,
+                    )
+            for spine_idx in range(num_spines):
+                spine = self._spine_vertex(pod, spine_idx)
+                # Each spine owns an equal, disjoint slice of the cores so
+                # core<->pod links stay single (no parallel edges).
+                for core_idx in range(spine_idx, num_cores, num_spines):
+                    self._add_bidirectional(
+                        spine, self._core_vertex(core_idx), bandwidth, latency
+                    )
+
+    # -- vertex helpers ----------------------------------------------------------
+
+    @property
+    def num_leaves(self) -> int:
+        return self.num_pods * self.leaves_per_pod
+
+    @property
+    def num_switches(self) -> int:
+        return self.num_leaves + self.num_pods * self.num_spines + self.num_cores
+
+    def _leaf_vertex(self, leaf_idx: int) -> int:
+        return self.num_nodes + leaf_idx
+
+    def _spine_vertex(self, pod: int, spine_idx: int) -> int:
+        return self.num_nodes + self.num_leaves + pod * self.num_spines + spine_idx
+
+    def _core_vertex(self, core_idx: int) -> int:
+        return (
+            self.num_nodes
+            + self.num_leaves
+            + self.num_pods * self.num_spines
+            + core_idx
+        )
+
+    def pod_of(self, node: int) -> int:
+        return node // (self.leaves_per_pod * self.nodes_per_leaf)
+
+    def leaf_of(self, node: int) -> int:
+        return self._leaf_vertex(node // self.nodes_per_leaf)
+
+    def leaf_members(self, leaf_idx: int) -> List[int]:
+        start = leaf_idx * self.nodes_per_leaf
+        return list(range(start, start + self.nodes_per_leaf))
+
+    # -- routing -------------------------------------------------------------------
+
+    def route(self, src: int, dst: int) -> List[LinkKey]:
+        if src == dst:
+            return []
+        src_leaf = self.leaf_of(src)
+        dst_leaf = self.leaf_of(dst)
+        if src_leaf == dst_leaf:
+            return [(src, src_leaf), (src_leaf, dst)]
+        src_pod = self.pod_of(src)
+        dst_pod = self.pod_of(dst)
+        if src_pod == dst_pod:
+            spine = self._spine_vertex(src_pod, dst % self.num_spines)
+            return [
+                (src, src_leaf),
+                (src_leaf, spine),
+                (spine, dst_leaf),
+                (dst_leaf, dst),
+            ]
+        core_idx = dst % self.num_cores
+        core = self._core_vertex(core_idx)
+        # The spine attached to the chosen core within each pod: cores are
+        # striped across spines by index (see __init__).
+        up_spine = self._spine_vertex(src_pod, core_idx % self.num_spines)
+        down_spine = self._spine_vertex(dst_pod, core_idx % self.num_spines)
+        return [
+            (src, src_leaf),
+            (src_leaf, up_spine),
+            (up_spine, core),
+            (core, down_spine),
+            (down_spine, dst_leaf),
+            (dst_leaf, dst),
+        ]
+
+    def allocation_graph(self) -> IndirectAllocationGraph:
+        return IndirectAllocationGraph(self)

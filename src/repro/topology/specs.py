@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from .. import obs
 from .base import Topology
 from .bigraph import BiGraph
 from .fattree import FatTree
+from .fattree3 import FatTree3
 from .grid import Mesh2D, Torus2D
 from .ring1d import Ring1D
 from .torus3d import Torus3D
@@ -29,6 +31,7 @@ TOPOLOGY_BUILDERS: Dict[str, tuple] = {
     "torus3d": ("WxHxD", lambda parts: Torus3D(*parts)),
     "ring1d": ("N", lambda parts: Ring1D(parts[0])),
     "fattree": ("LEAVESxNODES", lambda parts: FatTree(*parts)),
+    "fattree3": ("PODSxLEAVESxNODES", lambda parts: FatTree3(*parts)),
     "bigraph": (
         "SWITCHES_PER_LAYERxNODES_PER_SWITCH", lambda parts: BiGraph(*parts)
     ),
@@ -55,7 +58,14 @@ def parse_topology(kind: str, dims: str) -> Topology:
     except KeyError:
         raise SystemExit("unknown topology %r (choose: %s)" % (kind, TOPOLOGY_HELP))
     try:
-        return builder(parts)
+        # Construction cost scales with the link count — a span makes a
+        # multi-second scale-out build (8k-node torus: millions of link
+        # entries) visible in traces instead of looking like a hang.
+        with obs.span("topology.build", kind=kind, dims=dims) as sp:
+            topology = builder(parts)
+            sp.set("nodes", topology.num_nodes)
+            sp.set("links", len(topology.links))
+            return topology
     except TypeError:
         raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
 

@@ -174,3 +174,189 @@ class TestArtifactStore:
             if name.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+class TestShardedArtifacts:
+    """Shard-granularity corruption: every failure is a *counted miss*.
+
+    The store must never raise for on-disk damage — a truncated shard, a
+    flipped byte, a missing file, a stale legacy blob all degrade to a
+    recompile, each attributed to a reason in the ``sim.fallbacks``-style
+    ``artifact`` counter.
+    """
+
+    def _warm(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        topo = Torus2D(4, 4)
+        compiled = store.get_or_compile(topo, "ring")
+        return store, topo, compiled
+
+    def _shard_paths(self, tmp_path):
+        return sorted(
+            os.path.join(str(tmp_path), name)
+            for name in os.listdir(str(tmp_path))
+            if name.endswith(".npz")
+        )
+
+    def _fresh_get(self, tmp_path, topo, algorithm="ring"):
+        """Reload from disk with fallback accounting captured."""
+        from repro.metrics.registry import MetricsRegistry, collecting
+
+        registry = MetricsRegistry()
+        store = ArtifactStore(str(tmp_path))
+        with collecting(registry):
+            compiled = store.get(topo, algorithm)
+        reasons = {
+            key: value
+            for key, value in registry.snapshot()["counters"].items()
+            if key.startswith("sim.fallbacks")
+        }
+        return compiled, store, reasons
+
+    def test_writes_header_plus_npz_shards(self, tmp_path):
+        self._warm(tmp_path)
+        names = os.listdir(str(tmp_path))
+        assert any(name.endswith(".json") for name in names)
+        assert any(name.endswith(".core.npz") for name in names)
+        assert any(name.endswith(".deps.npz") for name in names)
+
+    def test_loaded_columns_are_lazy(self, tmp_path):
+        _store, topo, compiled = self._warm(tmp_path)
+        loaded, _store2, _reasons = self._fresh_get(tmp_path, topo)
+        assert loaded is not None
+        assert loaded.dep_val.loaded is False
+        assert loaded.srcs.loaded is False
+        # First simulation pulls what it needs and matches exactly.
+        assert (
+            loaded.simulate(1 * MiB).time == compiled.simulate(1 * MiB).time
+        )
+        assert loaded.dep_val.loaded is True
+
+    def test_truncated_shard_is_a_counted_miss(self, tmp_path):
+        _store, topo, _compiled = self._warm(tmp_path)
+        for path in self._shard_paths(tmp_path):
+            with open(path, "rb") as fh:
+                blob = fh.read()
+            with open(path, "wb") as fh:
+                fh.write(blob[: len(blob) // 2])
+        loaded, store, reasons = self._fresh_get(tmp_path, topo)
+        assert loaded is None
+        assert store.misses == 1 and store.hits == 0
+        assert any("checksum-mismatch" in key for key in reasons)
+
+    def test_flipped_byte_is_a_checksum_miss(self, tmp_path):
+        _store, topo, _compiled = self._warm(tmp_path)
+        path = self._shard_paths(tmp_path)[0]
+        with open(path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last[0] ^ 0xFF]))
+        loaded, store, reasons = self._fresh_get(tmp_path, topo)
+        assert loaded is None
+        assert store.misses == 1
+        assert any("checksum-mismatch" in key for key in reasons)
+
+    def test_missing_shard_is_a_counted_miss(self, tmp_path):
+        _store, topo, _compiled = self._warm(tmp_path)
+        os.unlink(self._shard_paths(tmp_path)[0])
+        loaded, store, reasons = self._fresh_get(tmp_path, topo)
+        assert loaded is None
+        assert store.misses == 1
+        assert any("shard-missing" in key for key in reasons)
+
+    def test_legacy_json_artifact_loads_as_counted_tier(self, tmp_path):
+        _store, topo, compiled = self._warm(tmp_path)
+        # Rewrite the artifact as the legacy single-file JSON form.
+        key = artifact_key(topo, "ring")
+        for path in self._shard_paths(tmp_path):
+            os.unlink(path)
+        header = ArtifactStore(str(tmp_path))._path(key)
+        with open(header, "w") as fh:
+            json.dump(
+                {
+                    "schema": ARTIFACT_SCHEMA_VERSION,
+                    "key": key,
+                    "compiled": compiled.to_dict(),
+                },
+                fh,
+            )
+        loaded, store, _reasons = self._fresh_get(tmp_path, topo)
+        assert loaded is not None
+        assert store.legacy_hits == 1 and store.hits == 1
+        assert loaded.simulate(1 * MiB).time == compiled.simulate(1 * MiB).time
+
+    def test_corrupt_legacy_payload_is_a_decode_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        topo = Torus2D(4, 4)
+        key = artifact_key(topo, "ring")
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(store._path(key), "w") as fh:
+            json.dump(
+                {
+                    "schema": ARTIFACT_SCHEMA_VERSION,
+                    "key": key,
+                    "compiled": {"format": "repro-compiled-v1"},
+                },
+                fh,
+            )
+        loaded, fresh, reasons = self._fresh_get(tmp_path, topo)
+        assert loaded is None
+        assert fresh.misses == 1
+        assert any("decode-error" in key_ for key_ in reasons)
+
+    def test_round_trip_preserves_broadcast_fractions(self, tmp_path):
+        import numpy as np
+
+        from repro.collectives.streaming import compile_multitree
+
+        store = ArtifactStore(str(tmp_path))
+        topo = Torus2D(4, 4)
+        compiled = compile_multitree(topo)
+        store.put(compiled)
+        loaded, _store, _reasons = self._fresh_get(
+            tmp_path, topo, "multitree"
+        )
+        assert loaded is not None
+        # The constant-fraction header field restores zero-memory
+        # broadcast columns (and with them the single-wire-class path).
+        assert np.asarray(loaded.frac_num).strides == (0,)
+        assert loaded.to_dict() == compiled.to_dict()
+
+
+class TestArtifactMemoCap:
+    def test_memo_is_lru_bounded(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), memo_capacity=2)
+        topos = [Torus2D(4, 4), Torus2D(4, 8), Torus2D(8, 4)]
+        for topo in topos:
+            store.get_or_compile(topo, "ring")
+            store.get(topo, "ring")
+        assert len(store._memo) == 2
+        # Least-recently-used (the first topology) was evicted.
+        keys = list(store._memo)
+        assert artifact_key(topos[0], "ring") not in keys
+        assert artifact_key(topos[2], "ring") in keys
+
+    def test_env_var_controls_capacity(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_MEMO_CAP", "1")
+        store = ArtifactStore(str(tmp_path))
+        assert store.memo_capacity == 1
+        monkeypatch.setenv("REPRO_ARTIFACT_MEMO_CAP", "not-a-number")
+        assert ArtifactStore(str(tmp_path)).memo_capacity == 8
+
+    def test_zero_capacity_disables_memo(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), memo_capacity=0)
+        topo = Torus2D(4, 4)
+        store.get_or_compile(topo, "ring")
+        store.get(topo, "ring")
+        assert store._memo == {}
+
+    def test_memo_hit_skips_disk(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        topo = Torus2D(4, 4)
+        store.get_or_compile(topo, "ring")
+        first = store.get(topo, "ring")
+        # Remove the files: a memo hit must still serve the object.
+        for name in os.listdir(str(tmp_path)):
+            os.unlink(os.path.join(str(tmp_path), name))
+        assert store.get(topo, "ring") is first

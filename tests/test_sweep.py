@@ -1,6 +1,7 @@
 """repro.sweep: prediction cache keying/persistence and the sweep runner."""
 
 import json
+import os
 import warnings
 
 import pytest
@@ -93,6 +94,71 @@ class TestPredictionCache:
         path = str(tmp_path / "never.json")
         PredictionCache(path).save()
         assert not (tmp_path / "never.json").exists()
+
+
+class TestBatchedFlush:
+    def test_saves_inside_batch_coalesce_to_one_write(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = PredictionCache(path)
+        with cache.batched():
+            for i in range(5):
+                cache.put(
+                    "k%d" % i, time=float(i), bandwidth=1.0,
+                    max_queue_delay=0.0,
+                )
+                cache.save()  # deferred: one write at block exit
+                assert not os.path.exists(path)
+        assert os.path.exists(path)
+        assert len(PredictionCache(path)) == 5
+
+    def test_batch_flushes_on_error(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = PredictionCache(path)
+        with pytest.raises(RuntimeError):
+            with cache.batched():
+                cache.put("k", time=1.0, bandwidth=1.0, max_queue_delay=0.0)
+                cache.save()
+                raise RuntimeError("mid-batch failure")
+        # Work computed before the failure still persisted.
+        assert "k" in PredictionCache(path)
+
+    def test_nested_batches_flush_at_outermost_exit(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = PredictionCache(path)
+        with cache.batched():
+            with cache.batched():
+                cache.put("k", time=1.0, bandwidth=1.0, max_queue_delay=0.0)
+                cache.save()
+            assert not os.path.exists(path)
+        assert os.path.exists(path)
+
+    def test_no_deferred_saves_means_no_write(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = PredictionCache(path)
+        with cache.batched():
+            pass
+        assert not os.path.exists(path)
+
+    def test_batch_is_per_thread(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "cache.json")
+        cache = PredictionCache(path)
+        written = {}
+
+        def other_thread():
+            cache.put("other", time=2.0, bandwidth=1.0, max_queue_delay=0.0)
+            cache.save()  # not inside *this* thread's batch: writes now
+            written["exists"] = os.path.exists(path)
+
+        with cache.batched():
+            cache.put("mine", time=1.0, bandwidth=1.0, max_queue_delay=0.0)
+            cache.save()
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert written["exists"] is True
+        assert "mine" in PredictionCache(path)
 
 
 class TestCachedSweep:
