@@ -12,6 +12,7 @@ from .harness import (
     bench_construction,
     bench_end_to_end,
     bench_engine,
+    bench_hetero,
     bench_scaleout,
     bench_serve,
     bench_simulate,
@@ -41,6 +42,7 @@ __all__ = [
     "bench_construction",
     "bench_end_to_end",
     "bench_engine",
+    "bench_hetero",
     "bench_scaleout",
     "bench_serve",
     "bench_simulate",

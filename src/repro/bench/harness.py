@@ -22,7 +22,13 @@ Six benchmarks cover the optimized strata:
   full: 8192): streaming CSR compile + vectorized batch as the cold
   reference vs the artifact-warm rerun (lazy shard loads + the same
   batch), reporting wall time *and* peak RSS against the documented
-  memory envelope.
+  memory envelope;
+* ``hetero``       — the heterogeneous-fabric tier: an oversubscribed
+  fat-tree (``fattree-8x8@oversub=4``, link profiles of
+  :mod:`repro.topology.profile`) through all three engines, with the
+  cross-check enforcing the exactness contract — event, lockstep and
+  lockstep-vec must produce exactly equal (``==``) results on the
+  profiled fabric before any timing happens.
 
 Each benchmark times the optimized implementation against the seed
 implementation preserved in :mod:`repro.bench.reference` *in the same
@@ -70,7 +76,10 @@ MiB = 1 << 20
 #: v4: added the ``batch`` benchmark (one-pass vectorized multi-size
 #: evaluation vs per-size scalar lockstep) and numpy/engine metadata.
 #: v5: added the ``scaleout_xl`` benchmark (cluster-scale streaming
-#: compile + artifact-warm rerun with peak-RSS reporting).
+#: compile + artifact-warm rerun with peak-RSS reporting).  The
+#: ``hetero`` benchmark joined later *without* a bump: adding a
+#: benchmark is baseline-compatible (comparisons iterate the baseline's
+#: entries), and its exactness cross-check gates at run time regardless.
 BENCH_SCHEMA_VERSION = 5
 
 #: Documented peak-RSS envelopes (MiB) for the ``scaleout_xl`` tier.
@@ -676,6 +685,74 @@ def bench_scaleout_xl(
     )
 
 
+def bench_hetero(
+    spec: str = "fattree-8x8@oversub=4",
+    data_bytes: int = 8 * MiB,
+    repeat: int = 3,
+) -> BenchResult:
+    """Heterogeneous-fabric tier: a profiled fabric through all engines.
+
+    The cross-check *is* the exactness contract for link profiles: on the
+    oversubscribed fat-tree the event engine (semantic reference), the
+    scalar lockstep engine and the vectorized engine must produce exactly
+    equal (``==``) finish times, per-message timings and per-link busy
+    totals — heterogeneity flows through per-link bandwidth/latency
+    columns, never through a changed formula, so any drift here is a
+    correctness bug, not noise.  Timing then compares the deployed fast
+    path (compiled schedule + lockstep-vec) against the event engine on
+    the equivalent pre-lowered messages, mirroring ``engine`` but on a
+    fabric whose upper tier runs at a quarter of the edge bandwidth.
+    """
+    from ..collectives import compile_schedule
+    from ..topology.specs import parse_topology_spec
+
+    scenario = Scenario(
+        topology=spec, algorithm="multitree", data_bytes=data_bytes,
+        engine="lockstep-vec",
+    )
+    resolved = scenario.resolve()
+    topo = parse_topology_spec(spec)
+    fc = resolved.flow_control
+    schedule = build_schedule(resolved.builder, topo)
+    messages = build_messages(schedule, data_bytes, fc)
+    compiled = compile_schedule(schedule)
+    sim = NetworkSimulator(topo, fc)
+    ref = sim.run(messages)
+    for engine in ("lockstep", "lockstep-vec"):
+        fast = compiled.simulate(data_bytes, fc, engine=engine).simulation
+        if (
+            fast.finish_time != ref.finish_time
+            or fast.timings != ref.timings
+            or fast.link_busy != ref.link_busy
+        ):
+            raise RuntimeError(
+                "%s engine diverged from event engine on %s" % (engine, spec)
+            )
+    optimized = _best_of(
+        lambda: compiled.simulate(data_bytes, fc, engine="lockstep-vec"),
+        repeat,
+    )
+    reference = _best_of(lambda: sim.run(messages), repeat)
+    return BenchResult(
+        name="hetero",
+        optimized_s=optimized,
+        reference_s=reference,
+        meta={
+            "scenario": str(scenario),
+            "fingerprint": scenario.fingerprint(topo),
+            "topology": topo.name,
+            "link_mods": (
+                topo.link_profile.canonical() if topo.link_profile else None
+            ),
+            "messages": len(messages),
+            "data_bytes": data_bytes,
+            "engines_cross_checked": ["event", "lockstep", "lockstep-vec"],
+            "optimized": "compiled schedule + lockstep-vec engine",
+            "reference": "event engine, pre-lowered messages",
+        },
+    )
+
+
 def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, object]:
     """Run the full harness; ``quick`` shrinks topologies for CI smoke runs."""
     if quick:
@@ -699,6 +776,7 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
                 "torus3d-16x16x8", repeat=1,
                 rss_envelope_mib=SCALEOUT_XL_QUICK_RSS_MIB,
             ),
+            bench_hetero(data_bytes=2 * MiB, repeat=reps),
         ]
     else:
         reps = repeat if repeat is not None else 1
@@ -714,6 +792,7 @@ def run_bench(quick: bool = False, repeat: Optional[int] = None) -> Dict[str, ob
                 "torus3d-32x16x16", repeat=1,
                 rss_envelope_mib=SCALEOUT_XL_FULL_RSS_MIB,
             ),
+            bench_hetero(repeat=max(3, reps)),
         ]
     import numpy
 

@@ -79,7 +79,14 @@ from .scenario import SCENARIO_HELP, Scenario
 from .scenario import parse_size as _parse_size
 from .scenario import parse_sizes as _parse_sizes
 from .sweep import SweepStats, jobs_from_scenarios, run_sweep
-from .topology.specs import TOPOLOGY_HELP, parse_topology
+from .topology.specs import (
+    TOPOLOGY_BUILDERS,
+    TOPOLOGY_HELP,
+    link_profile_for,
+    parse_topology,
+    topology_mods_help,
+)
+from .topology.profile import link_mods_help
 from .trace import Trace, format_trace_report, write_chrome_trace
 from .training import nonoverlapped_iteration, overlapped_iteration
 
@@ -535,10 +542,24 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("topologies: %s" % TOPOLOGY_HELP)
+    print("link mods (append to a topology spec after @, join with +):")
+    for line in topology_mods_help().splitlines():
+        print("  %s" % line)
     print("algorithms: %s" % ", ".join(variant_names()))
     print("models:     %s" % ", ".join(sorted(MODEL_BUILDERS)))
     print("scenarios:  %s" % SCENARIO_HELP)
     return 0
+
+
+def _scenario_link_mods(scenario: Scenario):
+    """(active link-mod text or None, supported-mods help) for a scenario."""
+    head, _at, modtext = scenario.topology.partition("@")
+    kind = head.partition("-")[0]
+    profile = link_profile_for(kind, modtext)
+    return (
+        profile.canonical() or None,
+        link_mods_help(TOPOLOGY_BUILDERS[kind].mods) or None,
+    )
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -548,11 +569,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         payload = []
         for scenario in scenarios:
             resolved = _resolve_scenario(scenario)
+            mods, supported = _scenario_link_mods(scenario)
             entry = scenario.to_dict()
             entry["canonical"] = str(scenario)
             entry["fingerprint"] = scenario.fingerprint()
             entry["cache_key"] = scenario.cache_key()
             entry["artifact_key"] = scenario.artifact_key()
+            entry["link_mods"] = mods
+            entry["supported_link_mods"] = supported
             entry["resolved"] = {
                 "builder": resolved.builder,
                 "flow_control": repr(resolved.flow_control),
@@ -563,10 +587,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 0
     for scenario in scenarios:
         resolved = _resolve_scenario(scenario)
+        mods, supported = _scenario_link_mods(scenario)
         print("scenario:     %s" % scenario)
         print("fingerprint:  %s" % scenario.fingerprint())
         print("cache key:    %s" % scenario.cache_key())
         print("artifact key: %s" % scenario.artifact_key())
+        print(
+            "link mods:    %s (supported: %s)"
+            % (mods or "uniform", supported or "none")
+        )
         print(
             "resolved:     builder=%s flow_control=%r label=%s"
             % (resolved.builder, resolved.flow_control, resolved.label)

@@ -18,16 +18,42 @@ The model charges, per hop:
 Default constants are representative 32 nm router numbers (order of a few
 pJ per flit-hop); the *ratio* between schemes is the reproduced quantity,
 not the absolute joules.
+
+On heterogeneous fabrics (link profiles, :mod:`repro.topology.profile`)
+the wire-traversal term additionally scales with each hop's *bandwidth
+class*: a link at ``2x`` the default bandwidth drives twice the lanes per
+flit-hop and charges ``2 x link_pj``, while a quarter-rate WAN-ish uplink
+charges a quarter — pass the built topology to
+:meth:`EnergyModel.schedule_energy_pj` to enable the per-hop lookup.
+Buffer and route/arbitration energy stay per-router constants (the
+router's control plane does not speed up with its links).  A uniform
+fabric at the default bandwidth takes the historical constant-per-hop
+path and reports bit-identical energy.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..collectives.schedule import Schedule
+from ..topology.base import DEFAULT_BANDWIDTH, Topology
 from .flowcontrol import FlowControl, MessageBased, PacketBased
+
+
+def link_energy_scales(topology: Topology, route: Sequence) -> List[float]:
+    """Per-hop bandwidth-class multipliers for one route.
+
+    Each hop's link traversal energy scales with its bandwidth relative
+    to the uniform default (more lanes driven per flit-hop on fatter
+    links, fewer on thin uplinks).  Uniform default-bandwidth fabrics
+    yield all-ones, which callers treat as the exact historical path.
+    """
+    return [
+        topology.link(src, dst).bandwidth / DEFAULT_BANDWIDTH
+        for src, dst in route
+    ]
 
 
 @dataclass(frozen=True)
@@ -40,13 +66,22 @@ class EnergyModel:
     subpacket_grant_pj: float = 1.0  # streamlined sub-packet grant (§IV-B)
 
     def message_energy_pj(
-        self, payload_bytes: float, hops: int, flow_control: FlowControl
+        self,
+        payload_bytes: float,
+        hops: int,
+        flow_control: FlowControl,
+        link_scales: Optional[Sequence[float]] = None,
     ) -> float:
-        """Energy to move one message of ``payload_bytes`` across ``hops``."""
+        """Energy to move one message of ``payload_bytes`` across ``hops``.
+
+        ``link_scales`` (one bandwidth-class multiplier per hop, see
+        :func:`link_energy_scales`) scales the wire-traversal term per
+        hop; omitted or all-ones, the historical uniform formula runs
+        unchanged.
+        """
         if hops <= 0:
             return 0.0
         flits = flow_control.wire_flits(payload_bytes)
-        per_hop_flit_energy = flits * (self.link_pj + self.buffer_pj)
         if isinstance(flow_control, MessageBased):
             subpackets = max(1, math.ceil(payload_bytes / 256))
             control = self.route_arb_pj + (subpackets - 1) * self.subpacket_grant_pj
@@ -54,6 +89,17 @@ class EnergyModel:
             control = flow_control.num_packets(payload_bytes) * self.route_arb_pj
         else:
             control = self.route_arb_pj
+        if link_scales is not None and any(s != 1.0 for s in link_scales):
+            if len(link_scales) != hops:
+                raise ValueError(
+                    "link_scales has %d entries for %d hops"
+                    % (len(link_scales), hops)
+                )
+            return sum(
+                flits * (self.link_pj * scale + self.buffer_pj) + control
+                for scale in link_scales
+            )
+        per_hop_flit_energy = flits * (self.link_pj + self.buffer_pj)
         return hops * (per_hop_flit_energy + control)
 
     def schedule_energy_pj(
@@ -61,13 +107,24 @@ class EnergyModel:
         schedule: Schedule,
         data_bytes: float,
         flow_control: FlowControl,
+        topology: Optional[Topology] = None,
     ) -> float:
-        """Total network energy for one collective of ``data_bytes``."""
+        """Total network energy for one collective of ``data_bytes``.
+
+        With ``topology`` the wire term honors each hop's bandwidth
+        class; without it every hop charges the uniform default (exactly
+        the pre-profile behavior, kept for uniform fabrics and callers
+        that never built the topology).
+        """
         total = 0.0
         for op in schedule.ops:
-            hops = len(schedule.route_of(op))
+            route = schedule.route_of(op)
+            scales = (
+                link_energy_scales(topology, route)
+                if topology is not None else None
+            )
             total += self.message_energy_pj(
-                op.chunk.bytes_of(data_bytes), hops, flow_control
+                op.chunk.bytes_of(data_bytes), len(route), flow_control, scales
             )
         return total
 
@@ -76,9 +133,10 @@ def energy_saving_fraction(
     schedule: Schedule,
     data_bytes: float,
     model: Optional[EnergyModel] = None,
+    topology: Optional[Topology] = None,
 ) -> float:
     """Fractional energy saved by message-based vs packet-based switching."""
     model = model or EnergyModel()
-    packet = model.schedule_energy_pj(schedule, data_bytes, PacketBased())
-    message = model.schedule_energy_pj(schedule, data_bytes, MessageBased())
+    packet = model.schedule_energy_pj(schedule, data_bytes, PacketBased(), topology)
+    message = model.schedule_energy_pj(schedule, data_bytes, MessageBased(), topology)
     return 1.0 - message / packet if packet > 0 else 0.0

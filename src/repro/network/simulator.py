@@ -89,7 +89,11 @@ class SimulationResult:
         """Busy fraction per link over the whole run (per unit channel).
 
         Every link of ``topology`` appears in the result; links the run
-        never touched report 0.0 utilization.
+        never touched report 0.0 utilization.  Heterogeneous fabrics need
+        no special casing here: busy time is serialization time, which
+        already embeds each link's own bandwidth, and the divisor is that
+        link's channel capacity — a saturated quarter-rate uplink reads
+        1.0 exactly like a saturated full-rate edge link.
         """
         busy_get = self.link_busy.get
         if self.finish_time <= 0:
@@ -100,11 +104,35 @@ class SimulationResult:
         }
 
     def mean_link_utilization(self, topology: Topology) -> float:
-        """Mean utilization over *all* links of the topology (idle included)."""
-        total_capacity_time = self.finish_time * topology.total_link_capacity()
-        if total_capacity_time <= 0:
+        """Mean utilization over *all* links of the topology (idle included).
+
+        On a heterogeneous fabric each channel's busy fraction is
+        weighted by its link's bandwidth, so the mean reports the share
+        of the fabric's deliverable bytes/s actually used — an idle
+        quarter-rate uplink drags the mean four times less than an idle
+        edge link.  Uniform fabrics (every link at one bandwidth) keep
+        the historical unweighted formula bit for bit, which the
+        weighting degenerates to exactly.
+        """
+        if self.finish_time <= 0:
             return 0.0
-        return sum(self.link_busy.values()) / total_capacity_time
+        bandwidths = {spec.bandwidth for spec in topology.links.values()}
+        if len(bandwidths) <= 1:
+            total_capacity_time = (
+                self.finish_time * topology.total_link_capacity()
+            )
+            if total_capacity_time <= 0:
+                return 0.0
+            return sum(self.link_busy.values()) / total_capacity_time
+        busy_get = self.link_busy.get
+        weighted_busy = 0.0
+        weighted_capacity = 0.0
+        for key, spec in topology.links.items():
+            weighted_busy += busy_get(key, 0.0) * spec.bandwidth
+            weighted_capacity += spec.capacity * spec.bandwidth
+        if weighted_capacity <= 0:
+            return 0.0
+        return weighted_busy / (self.finish_time * weighted_capacity)
 
 
 class NetworkSimulator:

@@ -17,7 +17,9 @@ a first-class, frozen value with
 Canonical string grammar::
 
     scenario  := TOPOLOGY "/" ALGORITHM "/" SIZE [ "@" MOD ("," MOD)* ]
-    TOPOLOGY  := family "-" dims          (e.g. torus-4x4; see repro list)
+    TOPOLOGY  := family "-" dims [ "@" LINKMOD ("+" LINKMOD)* ]
+                                          (e.g. torus-4x4 or
+                                           fattree-8x8@oversub=4; repro list)
     ALGORITHM := a registered variant     (repro.collectives.variant_names)
     SIZE      := bytes or K/M/GiB form    (e.g. 1MiB, 32K, 12345)
     MOD       := "packet" | "message"     flow-control override
@@ -28,6 +30,14 @@ Canonical string grammar::
 Mods may equivalently be separated by ``+`` (useful where a comma is a
 delimiter, e.g. metric label sets).  Canonical form omits every default
 and orders mods: flow control, ``free``, engine, overrides (sorted).
+
+The topology field may itself carry an ``@``-suffixed link profile
+(:mod:`repro.topology.profile`); the scenario parser therefore splits on
+``/`` first, so only an ``@`` *after* the size introduces scenario mods
+— ``fattree-8x8@oversub=4/multitree/16MiB@lockstep`` reads as a profiled
+fat-tree with the lockstep engine.  Link mods canonicalize on scenario
+construction (``@oversub=4.0`` becomes ``@oversub=4``), so equal
+physical fabrics always share one spelling and one fingerprint.
 
 Identity is *resolved*: ``torus-4x4/multitree-msg/1MiB`` and
 ``torus-4x4/multitree/1MiB@message`` describe the same physical point and
@@ -51,7 +61,12 @@ from .collectives.variants import (
 from .config import SystemConfig, TABLE_III
 from .network.flowcontrol import FlowControl
 from .topology.base import Topology, topology_fingerprint
-from .topology.specs import TOPOLOGY_BUILDERS, TOPOLOGY_HELP, parse_topology_spec
+from .topology.specs import (
+    TOPOLOGY_BUILDERS,
+    TOPOLOGY_HELP,
+    canonical_topology_spec,
+    parse_topology_spec,
+)
 
 KiB = 1024
 MiB = 1 << 20
@@ -65,7 +80,12 @@ GiB = 1 << 30
 #: v3: keys are scenario fingerprints — the algorithm field is the
 #: *resolved builder* (variants collapse onto their pairing) and a
 #: SystemConfig-override field joined the key.
-FINGERPRINT_SCHEMA_VERSION = 3
+#: v4: topology specs gained link-profile mods (``@oversub=4`` and
+#: friends); profiled fabrics mint distinct structural digests and the
+#: topology spelling canonicalizes on scenario construction, so every
+#: pre-profile persisted key misses instead of aliasing a heterogeneous
+#: fabric onto its uniform namesake.
+FINGERPRINT_SCHEMA_VERSION = 4
 
 #: Artifact identities are payload independent, so they version separately
 #: (an artifact survives fingerprint-schema bumps that only reprice
@@ -80,9 +100,10 @@ ENGINES = ("event", "lockstep", "lockstep-vec")
 
 #: One-line grammar reminder for CLI help output.
 SCENARIO_HELP = (
-    "TOPOLOGY/ALGORITHM/SIZE[@MOD,...] — mods: packet|message, free, "
-    "event|lockstep|lockstep-vec, KEY=VALUE "
-    "(e.g. torus-4x4/multitree-msg/16MiB@lockstep)"
+    "TOPOLOGY[@LINKMOD+...]/ALGORITHM/SIZE[@MOD,...] — mods: "
+    "packet|message, free, event|lockstep|lockstep-vec, KEY=VALUE "
+    "(e.g. torus-4x4/multitree-msg/16MiB@lockstep or "
+    "fattree-8x8@oversub=4/multitree/16MiB; link mods: repro list)"
 )
 
 Overrides = Tuple[Tuple[str, object], ...]
@@ -274,26 +295,43 @@ class Scenario:
                 "unknown flow control %r (choose: %s)"
                 % (self.flow_control, sorted(FLOW_CONTROL_FACTORIES))
             )
-        kind = self.topology.partition("-")[0]
+        kind = self.topology.partition("@")[0].partition("-")[0]
         if kind not in TOPOLOGY_BUILDERS:
             raise ValueError(
                 "unknown topology %r in scenario (choose: %s)"
                 % (self.topology, TOPOLOGY_HELP)
             )
+        # Canonicalize the link-profile suffix (``@oversub=4.0`` becomes
+        # ``@oversub=4``) so one physical fabric keeps one spelling — and
+        # one fingerprint — across every layer; unknown or malformed link
+        # mods fail loudly here rather than at build time.
+        object.__setattr__(
+            self, "topology", canonical_topology_spec(self.topology)
+        )
         object.__setattr__(self, "overrides", normalize_overrides(self.overrides))
 
     # -- string form -------------------------------------------------------
 
     @classmethod
     def parse(cls, text: str) -> "Scenario":
-        """Parse the canonical one-line form (see module docstring)."""
-        head, _at, modtext = text.strip().partition("@")
-        parts = head.split("/")
-        if len(parts) != 3 or not all(parts):
+        """Parse the canonical one-line form (see module docstring).
+
+        The split on ``/`` happens first so a topology link profile
+        (``fattree-8x8@oversub=4``) never collides with scenario mods —
+        only an ``@`` inside the third (size) part introduces mods.
+        """
+        parts = text.strip().split("/")
+        if len(parts) != 3 or not all(p.strip() for p in parts):
             raise ValueError(
                 "cannot parse scenario %r (expected %s)" % (text, SCENARIO_HELP)
             )
-        topology, algorithm, size = (p.strip() for p in parts)
+        topology, algorithm, sizetext = (p.strip() for p in parts)
+        size, _at, modtext = sizetext.partition("@")
+        size = size.strip()
+        if not size:
+            raise ValueError(
+                "cannot parse scenario %r (expected %s)" % (text, SCENARIO_HELP)
+            )
         get_variant(algorithm)  # reject unknown variants loudly
         flow_control: Optional[str] = None
         lockstep = True
@@ -350,8 +388,8 @@ class Scenario:
         return self.canonical(sep="+")
 
     def slug(self) -> str:
-        """Filesystem-safe form for file names (no ``/``, ``@``, ``=``)."""
-        return re.sub(r"[/@,+=]", "-", self.canonical())
+        """Filesystem-safe form for file names (no ``/``, ``@``, ``=``, ``:``)."""
+        return re.sub(r"[/@,+=:]", "-", self.canonical())
 
     # -- dict / JSON round-trip -------------------------------------------
 

@@ -92,6 +92,11 @@ class Topology:
     must override :meth:`is_switch` bookkeeping via ``num_switches``.
     """
 
+    #: The parsed :class:`repro.topology.profile.LinkProfile` this instance
+    #: was built from, set by the spec layer when a spec carries link mods;
+    #: ``None`` for uniform fabrics and direct constructions.
+    link_profile = None
+
     def __init__(self, num_nodes: int, name: str) -> None:
         if num_nodes < 2:
             raise ValueError("a network needs at least 2 nodes, got %d" % num_nodes)

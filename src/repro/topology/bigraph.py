@@ -36,9 +36,15 @@ class BiGraph(Topology):
         nodes_per_switch: int,
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
+        oversub: float = 1.0,
     ) -> None:
+        """``oversub`` > 1 runs the inter-layer tier at ``bandwidth /
+        oversub``, breaking the full-bisection property EFLOPS assumes —
+        the interesting regime for heterogeneity-aware algorithms."""
         if switches_per_layer < 1 or nodes_per_switch < 1:
             raise ValueError("bigraph needs >=1 switch per layer and >=1 node each")
+        if oversub < 1.0:
+            raise ValueError("oversub ratio must be >= 1, got %r" % oversub)
         if nodes_per_switch % switches_per_layer != 0:
             raise ValueError(
                 "nodes_per_switch (%d) must be divisible by switches_per_layer (%d) "
@@ -50,6 +56,7 @@ class BiGraph(Topology):
         self.switches_per_layer = switches_per_layer
         self.nodes_per_switch = nodes_per_switch
         inter_capacity = nodes_per_switch // switches_per_layer
+        inter_bandwidth = bandwidth if oversub == 1.0 else bandwidth / oversub
         for node in self.nodes:
             self._add_bidirectional(node, self.switch_of(node), bandwidth, latency)
         for upper_idx in range(switches_per_layer):
@@ -57,7 +64,7 @@ class BiGraph(Topology):
                 self._add_bidirectional(
                     self._switch_vertex(0, upper_idx),
                     self._switch_vertex(1, lower_idx),
-                    bandwidth,
+                    inter_bandwidth,
                     latency,
                     capacity=inter_capacity,
                 )

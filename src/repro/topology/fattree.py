@@ -36,15 +36,22 @@ class FatTree(Topology):
         num_spines: int = 0,
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
+        oversub: float = 1.0,
     ) -> None:
+        """``oversub`` > 1 runs the leaf-spine tier at ``bandwidth /
+        oversub`` (an oversubscribed fabric); node-leaf edge links always
+        keep the full rate."""
         if num_leaves < 1 or nodes_per_leaf < 1:
             raise ValueError("fat-tree needs >=1 leaf and >=1 node per leaf")
+        if oversub < 1.0:
+            raise ValueError("oversub ratio must be >= 1, got %r" % oversub)
         num_spines = num_spines or nodes_per_leaf
         num_nodes = num_leaves * nodes_per_leaf
         super().__init__(num_nodes, "fattree-%dn" % num_nodes)
         self.num_leaves = num_leaves
         self.nodes_per_leaf = nodes_per_leaf
         self.num_spines = num_spines
+        spine_bandwidth = bandwidth if oversub == 1.0 else bandwidth / oversub
         for node in self.nodes:
             self._add_bidirectional(node, self.leaf_of(node), bandwidth, latency)
         for leaf_idx in range(num_leaves):
@@ -52,7 +59,7 @@ class FatTree(Topology):
                 self._add_bidirectional(
                     self._leaf_vertex(leaf_idx),
                     self._spine_vertex(spine_idx),
-                    bandwidth,
+                    spine_bandwidth,
                     latency,
                 )
 

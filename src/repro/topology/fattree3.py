@@ -44,12 +44,23 @@ class FatTree3(Topology):
         num_cores: int = 0,
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
+        oversub: float = 1.0,
+        uplink_scale: float = 1.0,
     ) -> None:
+        """``oversub`` > 1 runs both switch tiers (leaf-spine and
+        spine-core) at ``bandwidth / oversub``; ``uplink_scale`` further
+        multiplies the spine-core tier alone (``uplink_scale=0.25`` models
+        quarter-rate WAN-like core uplinks).  Node-leaf edge links always
+        keep the full rate."""
         if num_pods < 1 or leaves_per_pod < 1 or nodes_per_leaf < 1:
             raise ValueError(
                 "3-level fat-tree needs >=1 pod, leaf per pod and node per"
                 " leaf"
             )
+        if oversub < 1.0:
+            raise ValueError("oversub ratio must be >= 1, got %r" % oversub)
+        if uplink_scale <= 0.0:
+            raise ValueError("uplink_scale must be > 0, got %r" % uplink_scale)
         num_spines = num_spines or nodes_per_leaf
         num_cores = num_cores or leaves_per_pod * num_spines
         num_nodes = num_pods * leaves_per_pod * nodes_per_leaf
@@ -59,6 +70,11 @@ class FatTree3(Topology):
         self.nodes_per_leaf = nodes_per_leaf
         self.num_spines = num_spines
         self.num_cores = num_cores
+        spine_bandwidth = bandwidth if oversub == 1.0 else bandwidth / oversub
+        core_bandwidth = (
+            spine_bandwidth if uplink_scale == 1.0
+            else spine_bandwidth * uplink_scale
+        )
         for node in self.nodes:
             self._add_bidirectional(node, self.leaf_of(node), bandwidth, latency)
         for pod in range(num_pods):
@@ -68,7 +84,7 @@ class FatTree3(Topology):
                     self._add_bidirectional(
                         leaf,
                         self._spine_vertex(pod, spine_idx),
-                        bandwidth,
+                        spine_bandwidth,
                         latency,
                     )
             for spine_idx in range(num_spines):
@@ -77,7 +93,8 @@ class FatTree3(Topology):
                 # core<->pod links stay single (no parallel edges).
                 for core_idx in range(spine_idx, num_cores, num_spines):
                     self._add_bidirectional(
-                        spine, self._core_vertex(core_idx), bandwidth, latency
+                        spine, self._core_vertex(core_idx), core_bandwidth,
+                        latency,
                     )
 
     # -- vertex helpers ----------------------------------------------------------

@@ -30,20 +30,33 @@ class Grid2D(Topology):
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
         channels: int = 1,
+        x_rails: int = 1,
+        y_scale: float = 1.0,
     ) -> None:
         """``channels`` > 1 models wider links as a multigraph (§VII-B):
         each neighbor pair gets that many parallel unit links, which the
         MultiTree allocator consumes independently and the simulator grants
-        as independent channels."""
+        as independent channels.
+
+        ``x_rails``/``y_scale`` build a rail-optimized heterogeneous grid:
+        X-dimension links get ``x_rails`` parallel rails (extra capacity)
+        while Y-dimension links run at ``y_scale`` of the link bandwidth.
+        The defaults reproduce the uniform fabric bit for bit."""
         if width < 2 or height < 2:
             raise ValueError("grid dimensions must be >= 2, got %dx%d" % (width, height))
         if channels < 1:
             raise ValueError("channels must be >= 1, got %d" % channels)
+        if x_rails < 1:
+            raise ValueError("x_rails must be >= 1, got %d" % x_rails)
+        if y_scale <= 0.0:
+            raise ValueError("y_scale must be > 0, got %r" % y_scale)
         super().__init__(width * height, name)
         self.width = width
         self.height = height
         self.wrap = wrap
         self.channels = channels
+        self.x_rails = x_rails
+        self.y_scale = y_scale
         self._build_links(bandwidth, latency)
 
     # -- coordinates -----------------------------------------------------------
@@ -79,6 +92,9 @@ class Grid2D(Topology):
         return [c for c in candidates if c != node]
 
     def _build_links(self, bandwidth: float, latency: float) -> None:
+        # A neighbor in the same row is an X-dimension link; X and Y
+        # neighbors can never coincide (they differ in exactly one axis).
+        y_bandwidth = bandwidth if self.y_scale == 1.0 else bandwidth * self.y_scale
         for node in self.nodes:
             multiplicity: dict = {}
             order: List[int] = []
@@ -86,10 +102,15 @@ class Grid2D(Topology):
                 if nbr not in multiplicity:
                     order.append(nbr)
                 multiplicity[nbr] = multiplicity.get(nbr, 0) + 1
+            _x, y = self.coord(node)
             for nbr in order:
+                is_x = self.coord(nbr)[1] == y
                 self._add_link(
-                    node, nbr, bandwidth, latency,
-                    capacity=multiplicity[nbr] * self.channels,
+                    node, nbr,
+                    bandwidth if is_x else y_bandwidth,
+                    latency,
+                    capacity=multiplicity[nbr] * self.channels
+                    * (self.x_rails if is_x else 1),
                 )
 
     # -- routing (dimension order: X then Y) ------------------------------------
@@ -193,10 +214,13 @@ class Torus2D(Grid2D):
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
         channels: int = 1,
+        x_rails: int = 1,
+        y_scale: float = 1.0,
     ) -> None:
         super().__init__(
             width, height, wrap=True, name="torus-%dx%d" % (width, height),
             bandwidth=bandwidth, latency=latency, channels=channels,
+            x_rails=x_rails, y_scale=y_scale,
         )
 
 
@@ -210,8 +234,11 @@ class Mesh2D(Grid2D):
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
         channels: int = 1,
+        x_rails: int = 1,
+        y_scale: float = 1.0,
     ) -> None:
         super().__init__(
             width, height, wrap=False, name="mesh-%dx%d" % (width, height),
             bandwidth=bandwidth, latency=latency, channels=channels,
+            x_rails=x_rails, y_scale=y_scale,
         )

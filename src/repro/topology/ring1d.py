@@ -25,13 +25,33 @@ class Ring1D(Topology):
         num_nodes: int,
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
+        forward_rails: int = 1,
+        reverse_scale: float = 1.0,
     ) -> None:
+        """``forward_rails``/``reverse_scale`` build a rail-optimized ring:
+        forward (ascending-id) links get ``forward_rails`` parallel rails
+        while reverse links run at ``reverse_scale`` of the link bandwidth.
+        The defaults reproduce the uniform ring bit for bit."""
         if num_nodes < 3:
             raise ValueError("a 1D ring needs at least 3 nodes, got %d" % num_nodes)
+        if forward_rails < 1:
+            raise ValueError("forward_rails must be >= 1, got %d" % forward_rails)
+        if reverse_scale <= 0.0:
+            raise ValueError("reverse_scale must be > 0, got %r" % reverse_scale)
         super().__init__(num_nodes, "ring1d-%d" % num_nodes)
+        self.forward_rails = forward_rails
+        self.reverse_scale = reverse_scale
+        reverse_bandwidth = (
+            bandwidth if reverse_scale == 1.0 else bandwidth * reverse_scale
+        )
         for node in self.nodes:
-            self._add_link(node, (node + 1) % num_nodes, bandwidth, latency)
-            self._add_link(node, (node - 1) % num_nodes, bandwidth, latency)
+            self._add_link(
+                node, (node + 1) % num_nodes, bandwidth, latency,
+                capacity=forward_rails,
+            )
+            self._add_link(
+                node, (node - 1) % num_nodes, reverse_bandwidth, latency,
+            )
 
     def route(self, src: int, dst: int) -> List[LinkKey]:
         if src == dst:

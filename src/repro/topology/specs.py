@@ -1,19 +1,21 @@
 """Textual topology specs shared by the CLI, scenarios and sweep jobs.
 
 A spec names a topology family and its dimensions either split
-(``"torus"``, ``"4x4"``) or combined (``"torus-4x4"``).  Specs are plain
-strings, so sweep jobs and :class:`repro.scenario.Scenario` descriptors
-stay picklable across multiprocessing workers — each worker rebuilds its
-topology from the spec.
+(``"torus"``, ``"4x4"``) or combined (``"torus-4x4"``), optionally
+followed by a link-profile suffix (``"fattree-8x8@oversub=4"``,
+``"torus-4x4@rails=2:0.5"`` — see :mod:`repro.topology.profile`).  Specs
+are plain strings, so sweep jobs and :class:`repro.scenario.Scenario`
+descriptors stay picklable across multiprocessing workers — each worker
+rebuilds its topology from the spec.
 
 :data:`TOPOLOGY_BUILDERS` is the single source of truth for which
-families exist; ``repro list`` and the scenario grammar help both derive
-from it.
+families exist and which link mods each supports; ``repro list`` and the
+scenario grammar help both derive from it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, NamedTuple, Optional, Sequence, Tuple
 
 from .. import obs
 from .base import Topology
@@ -21,25 +23,85 @@ from .bigraph import BiGraph
 from .fattree import FatTree
 from .fattree3 import FatTree3
 from .grid import Mesh2D, Torus2D
+from .profile import LinkProfile, link_mods_help, parse_link_mods
 from .ring1d import Ring1D
 from .torus3d import Torus3D
 
-#: Family name -> (dims help, builder over the parsed integer dims).
-TOPOLOGY_BUILDERS: Dict[str, tuple] = {
-    "torus": ("WxH", lambda parts: Torus2D(*parts)),
-    "mesh": ("WxH", lambda parts: Mesh2D(*parts)),
-    "torus3d": ("WxHxD", lambda parts: Torus3D(*parts)),
-    "ring1d": ("N", lambda parts: Ring1D(parts[0])),
-    "fattree": ("LEAVESxNODES", lambda parts: FatTree(*parts)),
-    "fattree3": ("PODSxLEAVESxNODES", lambda parts: FatTree3(*parts)),
-    "bigraph": (
-        "SWITCHES_PER_LAYERxNODES_PER_SWITCH", lambda parts: BiGraph(*parts)
+
+class TopologyFamily(NamedTuple):
+    """One registered topology family: dims grammar, builder, link mods."""
+
+    dims_help: str
+    builder: Callable[[Sequence[int], LinkProfile], Topology]
+    mods: Tuple[str, ...]
+
+
+def _rails(profile: LinkProfile) -> Tuple[int, float]:
+    rails = profile.get("rails")
+    return (1, 1.0) if rails is None else rails  # type: ignore[return-value]
+
+
+def _oversub(profile: LinkProfile) -> float:
+    return float(profile.get("oversub", 1.0))  # type: ignore[arg-type]
+
+
+#: Family name -> (dims help, builder over parsed dims + profile, mods).
+TOPOLOGY_BUILDERS: Dict[str, TopologyFamily] = {
+    "torus": TopologyFamily(
+        "WxH",
+        lambda parts, prof: Torus2D(
+            *parts, x_rails=_rails(prof)[0], y_scale=_rails(prof)[1]
+        ),
+        ("rails",),
+    ),
+    "mesh": TopologyFamily(
+        "WxH",
+        lambda parts, prof: Mesh2D(
+            *parts, x_rails=_rails(prof)[0], y_scale=_rails(prof)[1]
+        ),
+        ("rails",),
+    ),
+    "torus3d": TopologyFamily(
+        "WxHxD",
+        lambda parts, prof: Torus3D(
+            *parts, x_rails=_rails(prof)[0], yz_scale=_rails(prof)[1]
+        ),
+        ("rails",),
+    ),
+    "ring1d": TopologyFamily(
+        "N",
+        lambda parts, prof: Ring1D(
+            parts[0], forward_rails=_rails(prof)[0],
+            reverse_scale=_rails(prof)[1],
+        ),
+        ("rails",),
+    ),
+    "fattree": TopologyFamily(
+        "LEAVESxNODES",
+        lambda parts, prof: FatTree(*parts, oversub=_oversub(prof)),
+        ("oversub",),
+    ),
+    "fattree3": TopologyFamily(
+        "PODSxLEAVESxNODES",
+        lambda parts, prof: FatTree3(
+            *parts, oversub=_oversub(prof),
+            uplink_scale=float(prof.get("uplink", 1.0)),  # type: ignore[arg-type]
+        ),
+        ("oversub", "uplink"),
+    ),
+    "bigraph": TopologyFamily(
+        "SWITCHES_PER_LAYERxNODES_PER_SWITCH",
+        lambda parts, prof: BiGraph(*parts, oversub=_oversub(prof)),
+        ("oversub",),
     ),
 }
 
 TOPOLOGY_HELP = " | ".join(
-    "%s %s" % (kind, dims_help)
-    for kind, (dims_help, _builder) in TOPOLOGY_BUILDERS.items()
+    "%s %s%s" % (
+        kind, family.dims_help,
+        "[@%s]" % link_mods_help(family.mods).replace(", ", ",") if family.mods else "",
+    )
+    for kind, family in TOPOLOGY_BUILDERS.items()
 )
 
 
@@ -48,21 +110,67 @@ def topology_kinds() -> Sequence[str]:
     return tuple(TOPOLOGY_BUILDERS)
 
 
-def parse_topology(kind: str, dims: str) -> Topology:
+def topology_mods_help() -> str:
+    """Per-family link-mod summary for ``repro list`` (one line per family)."""
+    lines = []
+    for kind, family in TOPOLOGY_BUILDERS.items():
+        if family.mods:
+            lines.append("%s: %s" % (kind, link_mods_help(family.mods)))
+    return "\n".join(lines)
+
+
+def link_profile_for(kind: str, modtext: Optional[str]) -> LinkProfile:
+    """Parse + validate mod text for a family; raises :class:`ValueError`."""
+    try:
+        family = TOPOLOGY_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            "unknown topology %r (choose: %s)" % (kind, TOPOLOGY_HELP)
+        )
+    return parse_link_mods(kind, modtext, family.mods)
+
+
+def canonical_topology_spec(spec: str) -> str:
+    """Validate a spec's family + link mods, returning the canonical form.
+
+    Pure string normalization — no topology is built.  Mods are
+    name-sorted and values canonically spelled (``@oversub=4.0`` becomes
+    ``@oversub=4``); a spec without mods comes back byte-identical apart
+    from surrounding whitespace.  Raises :class:`ValueError` on unknown
+    families, unknown/unsupported mods and malformed mod values.
+    """
+    head, _at, modtext = spec.strip().partition("@")
+    profile = link_profile_for(head.partition("-")[0], modtext)
+    return head + profile.suffix()
+
+
+def parse_topology(kind: str, dims: str, modtext: Optional[str] = None) -> Topology:
+    kind, _at, kind_mods = kind.partition("@")
+    modtext = modtext if modtext is not None else kind_mods
+    try:
+        profile = link_profile_for(kind, modtext)
+    except ValueError as error:
+        raise SystemExit(str(error))
     try:
         parts = [int(p) for p in dims.lower().split("x")]
     except ValueError:
         raise SystemExit("bad dimensions %r for topology %r" % (dims, kind))
-    try:
-        _dims_help, builder = TOPOLOGY_BUILDERS[kind]
-    except KeyError:
-        raise SystemExit("unknown topology %r (choose: %s)" % (kind, TOPOLOGY_HELP))
+    family = TOPOLOGY_BUILDERS[kind]
     try:
         # Construction cost scales with the link count — a span makes a
         # multi-second scale-out build (8k-node torus: millions of link
         # entries) visible in traces instead of looking like a hang.
-        with obs.span("topology.build", kind=kind, dims=dims) as sp:
-            topology = builder(parts)
+        with obs.span(
+            "topology.build", kind=kind, dims=dims,
+            mods=profile.canonical() or None,
+        ) as sp:
+            topology = family.builder(parts, profile)
+            if profile:
+                # The suffix joins the name (and with it the structural
+                # fingerprint) so profiled fabrics never alias uniform
+                # ones; uniform specs keep their exact historical names.
+                topology.name = topology.name + profile.suffix()
+                topology.link_profile = profile
             sp.set("nodes", topology.num_nodes)
             sp.set("links", len(topology.links))
             return topology
@@ -71,12 +179,13 @@ def parse_topology(kind: str, dims: str) -> Topology:
 
 
 def parse_topology_spec(spec: str, dims: Optional[str] = None) -> Topology:
-    """Parse either split form (``torus``, ``4x4``) or combined ``torus-4x4``."""
+    """Parse split (``torus``, ``4x4``) or combined ``torus-4x4[@mods]`` form."""
     if dims:
         return parse_topology(spec, dims)
-    kind, sep, joined = spec.partition("-")
+    head, _at, modtext = spec.partition("@")
+    kind, sep, joined = head.partition("-")
     if not sep:
         raise SystemExit(
             "topology %r needs dimensions (e.g. torus-4x4 or --dims 4x4)" % spec
         )
-    return parse_topology(kind, joined)
+    return parse_topology(kind, joined, modtext)

@@ -28,18 +28,31 @@ class Torus3D(Topology):
         depth: int,
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
+        x_rails: int = 1,
+        yz_scale: float = 1.0,
     ) -> None:
+        """``x_rails``/``yz_scale`` build a rail-optimized heterogeneous
+        torus: X-dimension links get ``x_rails`` parallel rails (extra
+        capacity) while Y and Z links run at ``yz_scale`` of the link
+        bandwidth.  The defaults reproduce the uniform fabric bit for bit."""
         if min(width, height, depth) < 2:
             raise ValueError(
                 "3D torus dimensions must be >= 2, got %dx%dx%d"
                 % (width, height, depth)
             )
+        if x_rails < 1:
+            raise ValueError("x_rails must be >= 1, got %d" % x_rails)
+        if yz_scale <= 0.0:
+            raise ValueError("yz_scale must be > 0, got %r" % yz_scale)
         super().__init__(
             width * height * depth, "torus3d-%dx%dx%d" % (width, height, depth)
         )
         self.width = width
         self.height = height
         self.depth = depth
+        self.x_rails = x_rails
+        self.yz_scale = yz_scale
+        yz_bandwidth = bandwidth if yz_scale == 1.0 else bandwidth * yz_scale
         for node in self.nodes:
             multiplicity: dict = {}
             order: List[int] = []
@@ -47,8 +60,19 @@ class Torus3D(Topology):
                 if nbr not in multiplicity:
                     order.append(nbr)
                 multiplicity[nbr] = multiplicity.get(nbr, 0) + 1
+            _x, y, z = self.coord(node)
             for nbr in order:
-                self._add_link(node, nbr, bandwidth, latency, capacity=multiplicity[nbr])
+                # An X-dimension neighbor differs only along X; in a
+                # degenerate 2-wide dimension both directions coincide, but
+                # never across axes.
+                _nx, ny, nz = self.coord(nbr)
+                is_x = ny == y and nz == z
+                self._add_link(
+                    node, nbr,
+                    bandwidth if is_x else yz_bandwidth,
+                    latency,
+                    capacity=multiplicity[nbr] * (x_rails if is_x else 1),
+                )
 
     # -- coordinates -----------------------------------------------------------
 

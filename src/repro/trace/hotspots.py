@@ -110,9 +110,15 @@ def utilization_heatmap(
     """ASCII heatmap: one row per link, one column per lockstep step.
 
     Cell shade is the link's busy fraction within that step's time window
-    (normalized by channel capacity when a ``topology`` is supplied).  The
-    busiest ``max_links`` links are shown; without lockstep gates the time
-    axis falls back to equal-width bins.
+    (normalized by channel capacity when a ``topology`` is supplied).
+    Busy fraction is wall-clock channel occupancy, so heterogeneous
+    fabrics read correctly without rescaling — serialization time already
+    embeds each link's own bandwidth.  On such fabrics rows whose link
+    runs at a different rate than the fabric's fastest are tagged with
+    their relative bandwidth class (``x0.25`` = quarter-rate uplink) so
+    thin tiers are identifiable at a glance.  The busiest ``max_links``
+    links are shown; without lockstep gates the time axis falls back to
+    equal-width bins.
     """
     occupancy = trace.link_occupancy()
     windows = _step_windows(trace)
@@ -124,6 +130,10 @@ def utilization_heatmap(
     )
     clipped = len(links) > max_links
     links = sorted(links[:max_links])
+    max_bandwidth = (
+        max(spec.bandwidth for spec in topology.links.values())
+        if topology is not None and topology.links else None
+    )
     lines = [
         "link utilization per %s (rows: %d%s links, shade = busy fraction):"
         % (
@@ -134,9 +144,16 @@ def utilization_heatmap(
         "%-12s %s" % ("", " ".join("%-3s" % label for label, _, _ in windows)),
     ]
     for link in links:
-        capacity = topology.link(*link).capacity if topology is not None else max(
-            (ev.channel for ev in occupancy[link]), default=0
-        ) + 1
+        label = "%d->%d" % link
+        if topology is not None:
+            spec = topology.link(*link)
+            capacity = spec.capacity
+            if max_bandwidth and spec.bandwidth != max_bandwidth:
+                label += " x%.3g" % (spec.bandwidth / max_bandwidth)
+        else:
+            capacity = max(
+                (ev.channel for ev in occupancy[link]), default=0
+            ) + 1
         cells = []
         for _label, start, end in windows:
             fraction = _busy_in_window(occupancy[link], start, end) / (
@@ -144,5 +161,5 @@ def utilization_heatmap(
             )
             shade = _SHADES[min(len(_SHADES) - 1, int(fraction * len(_SHADES)))]
             cells.append(shade * 3)
-        lines.append("%-12s %s" % ("%d->%d" % link, " ".join(cells)))
+        lines.append("%-12s %s" % (label, " ".join(cells)))
     return "\n".join(lines)

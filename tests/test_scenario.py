@@ -419,4 +419,4 @@ class TestCli:
         assert "(+ multitree-msg)" not in out
         for name in variant_names():
             assert name in out
-        assert "TOPOLOGY/ALGORITHM/SIZE" in out
+        assert "TOPOLOGY[@LINKMOD+...]/ALGORITHM/SIZE" in out
